@@ -1,0 +1,171 @@
+// Command eplace runs the full ePlace flow (mIP -> mGP -> mLG -> cGP ->
+// cDP) on a Bookshelf benchmark or a generated synthetic circuit and
+// writes the placed .pl plus a quality report.
+//
+// Usage:
+//
+//	eplace -aux design.aux -out placed.pl
+//	eplace -synth 5000 -macros 10 -density 0.8 -out placed.pl
+//	eplace -aux design.aux -solver cg          # FFTPL mode (CG baseline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eplace/internal/bookshelf"
+	"eplace/internal/congestion"
+	"eplace/internal/core"
+	"eplace/internal/metrics"
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+	"eplace/internal/timing"
+	"eplace/internal/viz"
+)
+
+func main() {
+	var (
+		auxPath  = flag.String("aux", "", "Bookshelf .aux file to place")
+		synthN   = flag.Int("synth", 0, "generate a synthetic circuit with N standard cells")
+		macros   = flag.Int("macros", 0, "movable macros for -synth")
+		density  = flag.Float64("density", 1.0, "target density rho_t for -synth")
+		seed     = flag.Int64("seed", 1, "synthetic circuit seed")
+		outPath  = flag.String("out", "", "output .pl path (optional)")
+		solver   = flag.String("solver", "nesterov", "global placement solver: nesterov | cg")
+		gridM    = flag.Int("grid", 0, "bin grid size per side (power of two, 0 = auto)")
+		maxIters = flag.Int("iters", 0, "max GP iterations (0 = default 3000)")
+		gpOnly   = flag.Bool("gp-only", false, "stop after global placement (no legalization)")
+		tdPasses = flag.Int("timing", 0, "timing-driven reweighting passes (extension)")
+		cgPasses = flag.Int("congestion", 0, "congestion-driven reweighting passes (extension)")
+		heatmap  = flag.String("heatmap", "", "directory for PGM heatmaps of the final layout")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var d *netlist.Design
+	var err error
+	switch {
+	case *auxPath != "":
+		d, err = bookshelf.ReadAux(*auxPath)
+		if err != nil {
+			fatal("reading %s: %v", *auxPath, err)
+		}
+	case *synthN > 0:
+		d = synth.Generate(synth.Spec{
+			Name:             "synthetic",
+			NumCells:         *synthN,
+			NumMovableMacros: *macros,
+			TargetDensity:    *density,
+			Seed:             *seed,
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "eplace: need -aux FILE or -synth N")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := d.Validate(); err != nil {
+		fatal("invalid design: %v", err)
+	}
+	if !*quiet {
+		fmt.Printf("design %s: %s\n", d.Name, d.Stats())
+	}
+
+	gp := core.Options{GridM: *gridM, MaxIters: *maxIters}
+	if *solver == "cg" {
+		gp.Solver = core.SolverCG
+	} else if *solver != "nesterov" {
+		fatal("unknown solver %q", *solver)
+	}
+	res, err := core.Place(d, core.FlowOptions{GP: gp, SkipLegalization: *gpOnly})
+	if err != nil {
+		fatal("placement failed: %v", err)
+	}
+
+	// Optional timing-driven passes (Sec. VIII extension): analyze,
+	// reweight critical nets, re-place.
+	if *tdPasses > 0 {
+		tg := timing.Build(d, timing.Options{})
+		tg.Analyze()
+		fmt.Printf("timing        critical path %.4g before reweighting\n", tg.WorstArrival)
+		for pass := 0; pass < *tdPasses; pass++ {
+			tg.TimingWeights(3)
+			res, err = core.Place(d, core.FlowOptions{GP: gp, SkipLegalization: *gpOnly})
+			if err != nil {
+				fatal("timing-driven pass %d failed: %v", pass+1, err)
+			}
+			tg.Analyze()
+			fmt.Printf("timing        critical path %.4g after pass %d\n", tg.WorstArrival, pass+1)
+		}
+	}
+
+	// Optional congestion-driven passes (Sec. VIII extension): RUDY map,
+	// reweight congested nets, re-place.
+	if *cgPasses > 0 {
+		cm := congestion.Compute(d, 0, congestion.Options{})
+		st := cm.Stats()
+		fmt.Printf("congestion    max %.3f avg %.3f overflowed bins %d before reweighting\n",
+			st.MaxRatio, st.AvgRatio, st.OverflowedBins)
+		for pass := 0; pass < *cgPasses; pass++ {
+			cm.Weights(d, 2)
+			res, err = core.Place(d, core.FlowOptions{GP: gp, SkipLegalization: *gpOnly})
+			if err != nil {
+				fatal("congestion-driven pass %d failed: %v", pass+1, err)
+			}
+			cm = congestion.Compute(d, 0, congestion.Options{})
+			st = cm.Stats()
+			fmt.Printf("congestion    max %.3f avg %.3f overflowed bins %d after pass %d\n",
+				st.MaxRatio, st.AvgRatio, st.OverflowedBins, pass+1)
+		}
+	}
+
+	rep := metrics.Measure(d.Name, "ePlace", d, *gridM, 0, res.Legal)
+	fmt.Printf("HPWL          %.6g\n", rep.HPWL)
+	fmt.Printf("scaled HPWL   %.6g\n", rep.ScaledHPWL)
+	fmt.Printf("overflow tau  %.4f\n", rep.Overflow)
+	fmt.Printf("legal         %v\n", rep.Legal)
+	fmt.Printf("mGP           %d iters, tau %.4f, %d backtracks\n",
+		res.MGP.Iterations, res.MGP.Overflow, res.MGP.Backtracks)
+	if res.MixedSize {
+		fmt.Printf("mLG           j=%d, Om %.4g -> %.4g\n",
+			res.MLG.OuterIterations, res.MLG.OmBefore, res.MLG.OmAfter)
+		fmt.Printf("cGP           %d iters, tau %.4f\n", res.CGP.Iterations, res.CGP.Overflow)
+	}
+	for _, stage := range []string{"mIP", "mGP", "mLG", "cGP", "cDP"} {
+		if t, ok := res.StageTime[stage]; ok {
+			fmt.Printf("time %-8s %v\n", stage, t.Round(1e6))
+		}
+	}
+
+	if *heatmap != "" {
+		if err := os.MkdirAll(*heatmap, 0o755); err != nil {
+			fatal("heatmap dir: %v", err)
+		}
+		m := 128
+		layout := viz.RasterizeLayout(d, m)
+		if err := viz.SavePGM(*heatmap+"/layout.pgm", layout, m); err != nil {
+			fatal("heatmap: %v", err)
+		}
+		cm := congestion.Compute(d, m, congestion.Options{})
+		if err := viz.SavePGM(*heatmap+"/congestion.pgm", cm.Demand, m); err != nil {
+			fatal("heatmap: %v", err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s/layout.pgm and congestion.pgm\n", *heatmap)
+		}
+	}
+
+	if *outPath != "" {
+		if err := bookshelf.WritePL(d, *outPath); err != nil {
+			fatal("writing %s: %v", *outPath, err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *outPath)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "eplace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command genbench emits the synthetic benchmark suites (the ISPD
+// 2005 / ISPD 2006 / MMS analogs of DESIGN.md) as Bookshelf files, so
+// they can be fed to any Bookshelf-compatible placer.
+//
+// Usage:
+//
+//	genbench -suite mms -scale 1.0 -out bench/
+//	genbench -suite ispd05 -only ADAPTEC1 -out bench/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eplace/internal/bookshelf"
+	"eplace/internal/synth"
+)
+
+func main() {
+	var (
+		suite = flag.String("suite", "ispd05", "suite: ispd05 | ispd06 | mms")
+		scale = flag.Float64("scale", 1.0, "cell-count scale factor")
+		only  = flag.String("only", "", "emit only this circuit (empty = all)")
+		out   = flag.String("out", "bench", "output directory")
+	)
+	flag.Parse()
+
+	var specs []synth.Spec
+	switch *suite {
+	case "ispd05":
+		specs = synth.ISPD05Suite(*scale)
+	case "ispd06":
+		specs = synth.ISPD06Suite(*scale)
+	case "mms":
+		specs = synth.MMSSuite(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "genbench: unknown suite %q\n", *suite)
+		os.Exit(2)
+	}
+	for _, spec := range specs {
+		if *only != "" && !strings.EqualFold(spec.Name, *only) {
+			continue
+		}
+		d := synth.Generate(spec)
+		base := strings.ToLower(*suite) + "_" + strings.ToLower(spec.Name)
+		if err := bookshelf.WriteAux(d, *out, base); err != nil {
+			fmt.Fprintf(os.Stderr, "genbench: %s: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s -> %s/%s.aux\n", spec.Name, d.Stats(), *out, base)
+	}
+}

@@ -1,0 +1,39 @@
+// Density targets: the ISPD 2006 scenario. The same circuit is placed
+// against different density upper bounds rho_t; tighter targets force
+// more spreading, trading wirelength for (scaled-HPWL-penalized)
+// density overflow — the tradeoff behind Table II.
+//
+//	go run ./examples/densitytarget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eplace/internal/core"
+	"eplace/internal/metrics"
+	"eplace/internal/synth"
+)
+
+func main() {
+	fmt.Println("rho_t   HPWL        sHPWL       tau      penalty%")
+	for _, rhoT := range []float64{0.9, 0.7, 0.5} {
+		d := synth.Generate(synth.Spec{
+			Name:          "density-demo",
+			NumCells:      1500,
+			TargetDensity: rhoT,
+			Utilization:   0.45, // whitespace to spread into
+		})
+		res, err := core.Place(d, core.FlowOptions{})
+		if err != nil {
+			log.Fatalf("rho_t=%.1f: %v", rhoT, err)
+		}
+		rep := metrics.Measure(d.Name, "ePlace", d, 0, 0, res.Legal)
+		fmt.Printf("%.1f   %10.0f  %10.0f   %.4f   %+.2f%%\n",
+			rhoT, rep.HPWL, rep.ScaledHPWL, rep.Overflow,
+			100*(rep.ScaledHPWL/rep.HPWL-1))
+	}
+	fmt.Println("\nlower rho_t forces spreading: HPWL grows and the residual")
+	fmt.Println("per-bin overflow (penalized by sHPWL) grows with tightness;")
+	fmt.Println("ePlace keeps it the smallest in Table II's comparison.")
+}

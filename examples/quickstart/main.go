@@ -1,0 +1,68 @@
+// Quickstart: build a tiny design with the netlist API, run the full
+// ePlace flow, and print the quality metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"eplace/internal/core"
+	"eplace/internal/geom"
+	"eplace/internal/legalize"
+	"eplace/internal/netlist"
+)
+
+func main() {
+	// A 64x64 die with uniform rows of height 2.
+	d := netlist.New("quickstart", geom.Rect{Hx: 64, Hy: 64})
+	legalize.BuildRows(d, 2, 1)
+
+	// 400 standard cells in a chain-of-clusters netlist plus four
+	// corner IO pads.
+	rng := rand.New(rand.NewSource(42))
+	var cells []int
+	for i := 0; i < 400; i++ {
+		cells = append(cells, d.AddCell(netlist.Cell{
+			Name: fmt.Sprintf("c%d", i),
+			W:    float64(2 + rng.Intn(3)), H: 2,
+			X: rng.Float64() * 64, Y: rng.Float64() * 64,
+		}))
+	}
+	var pads []int
+	for i, p := range [][2]float64{{1, 1}, {63, 1}, {1, 63}, {63, 63}} {
+		pads = append(pads, d.AddCell(netlist.Cell{
+			Name: fmt.Sprintf("pad%d", i), W: 1, H: 1, X: p[0] - 0.5, Y: p[1] - 0.5,
+			Kind: netlist.Pad, Fixed: true,
+		}))
+	}
+	for k := 0; k < 500; k++ {
+		ni := d.AddNet(fmt.Sprintf("n%d", k), 1)
+		base := rng.Intn(390)
+		for p := 0; p < 2+rng.Intn(3); p++ {
+			d.Connect(cells[base+rng.Intn(10)], ni, 0, 0)
+		}
+	}
+	for i, pi := range pads {
+		ni := d.AddNet(fmt.Sprintf("pn%d", i), 1)
+		d.Connect(pi, ni, 0, 0)
+		d.Connect(cells[rng.Intn(len(cells))], ni, 0, 0)
+	}
+
+	fmt.Printf("before placement: HPWL = %.0f (random layout)\n", d.HPWL())
+
+	res, err := core.Place(d, core.FlowOptions{
+		GP: core.Options{GridM: 32},
+	})
+	if err != nil {
+		log.Fatalf("placement failed: %v", err)
+	}
+
+	fmt.Printf("after placement:  HPWL = %.0f, legal = %v\n", res.HPWL, res.Legal)
+	fmt.Printf("mGP converged in %d iterations at overflow %.3f\n",
+		res.MGP.Iterations, res.MGP.Overflow)
+	fmt.Printf("detail placement recovered %.1f%% wirelength\n",
+		100*(1-res.DP.HPWLAfter/res.DP.HPWLBefore))
+}

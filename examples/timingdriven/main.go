@@ -1,0 +1,50 @@
+// Timing-driven placement: the Sec. VIII "extension towards timing"
+// demonstrated end to end. A placed circuit is analyzed with the
+// built-in static timing analyzer, critical nets are reweighted, and
+// the flow reruns: the critical path shortens at a small wirelength
+// cost. A RUDY congestion report shows the routability view of both
+// layouts.
+//
+//	go run ./examples/timingdriven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eplace/internal/congestion"
+	"eplace/internal/core"
+	"eplace/internal/synth"
+	"eplace/internal/timing"
+)
+
+func main() {
+	d := synth.Generate(synth.Spec{Name: "td-demo", NumCells: 1200})
+
+	res, err := core.Place(d, core.FlowOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tg := timing.Build(d, timing.Options{})
+	tg.Analyze()
+	cm := congestion.Compute(d, 0, congestion.Options{})
+	fmt.Printf("wirelength-driven: HPWL %-9.0f critical path %-8.4g peak congestion %.2f\n",
+		res.HPWL, tg.WorstArrival, cm.Stats().MaxRatio)
+	baseHPWL, basePath := res.HPWL, tg.WorstArrival
+
+	// Two reweight-and-replace passes.
+	for pass := 1; pass <= 2; pass++ {
+		tg.TimingWeights(3)
+		res, err = core.Place(d, core.FlowOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tg.Analyze()
+		cm = congestion.Compute(d, 0, congestion.Options{})
+		fmt.Printf("timing pass %d:     HPWL %-9.0f critical path %-8.4g peak congestion %.2f\n",
+			pass, res.HPWL, tg.WorstArrival, cm.Stats().MaxRatio)
+	}
+
+	fmt.Printf("\ncritical path improved %.1f%% for %.1f%% extra wirelength\n",
+		100*(1-tg.WorstArrival/basePath), 100*(res.HPWL/baseHPWL-1))
+}

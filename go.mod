@@ -1,0 +1,3 @@
+module eplace
+
+go 1.22

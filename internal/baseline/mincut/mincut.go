@@ -1,0 +1,216 @@
+package mincut
+
+import (
+	"math"
+	"sort"
+
+	"eplace/internal/geom"
+	"eplace/internal/netlist"
+)
+
+// Options tunes the min-cut placer.
+type Options struct {
+	// LeafCells stops recursion (default 8).
+	LeafCells int
+	// BalanceTol is the FM area balance tolerance (default 0.1).
+	BalanceTol float64
+	// FMPasses bounds FM improvement passes per bisection (default 8).
+	FMPasses int
+	// Seed drives initial partitions (default 1).
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.LeafCells <= 0 {
+		o.LeafCells = 8
+	}
+	if o.BalanceTol <= 0 {
+		o.BalanceTol = 0.1
+	}
+	if o.FMPasses <= 0 {
+		o.FMPasses = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Result reports a run.
+type Result struct {
+	Bisections int
+	HPWL       float64
+}
+
+// Place runs recursive min-cut placement over the movable cells idx.
+func Place(d *netlist.Design, idx []int, opt Options) Result {
+	opt.defaults()
+	var res Result
+	if len(idx) == 0 {
+		res.HPWL = d.HPWL()
+		return res
+	}
+	p := &placer{d: d, opt: opt}
+	p.recurse(append([]int(nil), idx...), shrinkForFixed(d, d.Region), opt.Seed)
+	res.Bisections = p.bisections
+	res.HPWL = d.HPWL()
+	return res
+}
+
+// shrinkForFixed is a no-op placeholder kept for clarity: fixed blocks
+// are handled through capacity weighting at each bisection.
+func shrinkForFixed(d *netlist.Design, r geom.Rect) geom.Rect { return r }
+
+type placer struct {
+	d          *netlist.Design
+	opt        Options
+	bisections int
+}
+
+// capacity returns region area minus fixed overlap.
+func (p *placer) capacity(r geom.Rect) float64 {
+	cap := r.Area()
+	for i := range p.d.Cells {
+		c := &p.d.Cells[i]
+		if c.Fixed {
+			cap -= c.Rect().Overlap(r)
+		}
+	}
+	return math.Max(cap, 1e-9)
+}
+
+func (p *placer) recurse(cells []int, region geom.Rect, seed int64) {
+	if len(cells) == 0 || region.Empty() {
+		return
+	}
+	if len(cells) <= p.opt.LeafCells {
+		p.packLeaf(cells, region)
+		return
+	}
+	p.bisections++
+	d := p.d
+	// Split along the longer axis.
+	vertCut := region.W() >= region.H()
+	var rA, rB geom.Rect
+	var cut float64
+	if vertCut {
+		cut = (region.Lx + region.Hx) / 2
+		rA = geom.Rect{Lx: region.Lx, Ly: region.Ly, Hx: cut, Hy: region.Hy}
+		rB = geom.Rect{Lx: cut, Ly: region.Ly, Hx: region.Hx, Hy: region.Hy}
+	} else {
+		cut = (region.Ly + region.Hy) / 2
+		rA = geom.Rect{Lx: region.Lx, Ly: region.Ly, Hx: region.Hx, Hy: cut}
+		rB = geom.Rect{Lx: region.Lx, Ly: cut, Hx: region.Hx, Hy: region.Hy}
+	}
+	capA := p.capacity(rA)
+	capB := p.capacity(rB)
+	targetFrac := capA / (capA + capB)
+
+	// Build the local hypergraph with terminal propagation: pins of
+	// cells outside this subset (or fixed) lock their net to the side
+	// of the cut they sit on.
+	local := make(map[int]int, len(cells))
+	for li, ci := range cells {
+		local[ci] = li
+	}
+	h := &hypergraph{
+		area:     make([]float64, len(cells)),
+		cellNets: make([][]int, len(cells)),
+	}
+	for li, ci := range cells {
+		h.area[li] = math.Max(d.Cells[ci].Area(), 1e-9)
+	}
+	netSeen := map[int]int{} // global net -> local net id
+	for li, ci := range cells {
+		for _, pi := range d.Cells[ci].Pins {
+			ni := d.Pins[pi].Net
+			lni, ok := netSeen[ni]
+			if !ok {
+				lni = len(h.nets)
+				netSeen[ni] = lni
+				h.nets = append(h.nets, nil)
+				h.terminal = append(h.terminal, [2]int{})
+				// Classify external pins once.
+				for _, qi := range d.Nets[ni].Pins {
+					qc := d.Pins[qi].Cell
+					if qc >= 0 {
+						if _, in := local[qc]; in {
+							continue
+						}
+					}
+					pos := d.PinPos(qi)
+					v := pos.Y
+					if vertCut {
+						v = pos.X
+					}
+					if v < cut {
+						h.terminal[lni][0]++
+					} else {
+						h.terminal[lni][1]++
+					}
+				}
+			}
+			// Avoid duplicate membership for multi-pin connections.
+			dup := false
+			for _, m := range h.nets[lni] {
+				if m == li {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				h.nets[lni] = append(h.nets[lni], li)
+				h.cellNets[li] = append(h.cellNets[li], lni)
+			}
+		}
+	}
+
+	side := fmPartition(h, targetFrac, p.opt.BalanceTol, seed, p.opt.FMPasses)
+	var a, b []int
+	for li, ci := range cells {
+		if side[li] {
+			b = append(b, ci)
+		} else {
+			a = append(a, ci)
+		}
+	}
+	// Move the cells to their subregion centers so terminal propagation
+	// at deeper levels sees meaningful positions.
+	for _, ci := range a {
+		c := &d.Cells[ci]
+		pnt := geom.ClampPoint(rA.Center(), c.W, c.H, rA)
+		c.X, c.Y = pnt.X, pnt.Y
+	}
+	for _, ci := range b {
+		c := &d.Cells[ci]
+		pnt := geom.ClampPoint(rB.Center(), c.W, c.H, rB)
+		c.X, c.Y = pnt.X, pnt.Y
+	}
+	p.recurse(a, rA, seed*2+1)
+	p.recurse(b, rB, seed*2+2)
+}
+
+// packLeaf arranges a handful of cells in rows inside the region.
+func (p *placer) packLeaf(cells []int, region geom.Rect) {
+	d := p.d
+	sort.Slice(cells, func(i, j int) bool {
+		return d.Cells[cells[i]].Area() > d.Cells[cells[j]].Area()
+	})
+	x, y := region.Lx, region.Ly
+	rowH := 0.0
+	for _, ci := range cells {
+		c := &d.Cells[ci]
+		if x+c.W > region.Hx+1e-9 && x > region.Lx {
+			x = region.Lx
+			y += rowH
+			rowH = 0
+		}
+		cx := x + c.W/2
+		cy := y + c.H/2
+		pnt := geom.ClampPoint(geom.Point{X: cx, Y: cy}, c.W, c.H, d.Region)
+		c.X, c.Y = pnt.X, pnt.Y
+		x += c.W
+		if c.H > rowH {
+			rowH = c.H
+		}
+	}
+}

@@ -1,0 +1,557 @@
+// Package bookshelf reads and writes the GSRC/ISPD Bookshelf placement
+// format used by the ISPD 2005/2006 and MMS benchmark suites: the .aux
+// index, .nodes (objects), .nets (hyperedges with pin offsets), .pl
+// (placement), .scl (rows) and .wts (net weights) files. Real contest
+// benchmarks drop into the synthetic flow unchanged through this
+// package.
+//
+// Bookshelf stores object positions as lower-left corners with pin
+// offsets from the object center; the netlist model uses centers
+// throughout, and this package converts at the boundary.
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eplace/internal/geom"
+	"eplace/internal/netlist"
+)
+
+// ReadAux loads a complete design from a Bookshelf .aux file.
+func ReadAux(path string) (*netlist.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	files := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "RowBasedPlacement : a.nodes a.nets a.wts a.pl a.scl"
+		if i := strings.Index(line, ":"); i >= 0 {
+			line = line[i+1:]
+		}
+		for _, tok := range strings.Fields(line) {
+			switch strings.ToLower(filepath.Ext(tok)) {
+			case ".nodes", ".nets", ".wts", ".pl", ".scl":
+				files[strings.ToLower(filepath.Ext(tok))] = tok
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	need := func(ext string) (string, error) {
+		name, ok := files[ext]
+		if !ok {
+			return "", fmt.Errorf("bookshelf: aux lists no %s file", ext)
+		}
+		return filepath.Join(dir, name), nil
+	}
+
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	d := netlist.New(name, geom.Rect{})
+
+	nodesPath, err := need(".nodes")
+	if err != nil {
+		return nil, err
+	}
+	if err := readNodes(d, nodesPath); err != nil {
+		return nil, err
+	}
+	netsPath, err := need(".nets")
+	if err != nil {
+		return nil, err
+	}
+	if err := readNets(d, netsPath); err != nil {
+		return nil, err
+	}
+	if wts, ok := files[".wts"]; ok {
+		if err := readWts(d, filepath.Join(dir, wts)); err != nil {
+			return nil, err
+		}
+	}
+	plPath, err := need(".pl")
+	if err != nil {
+		return nil, err
+	}
+	if err := ReadPL(d, plPath); err != nil {
+		return nil, err
+	}
+	if scl, ok := files[".scl"]; ok {
+		if err := readSCL(d, filepath.Join(dir, scl)); err != nil {
+			return nil, err
+		}
+	}
+	deriveRegion(d)
+	return d, nil
+}
+
+// scanner yields non-comment logical lines.
+type scanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newScanner(r io.Reader) *scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &scanner{sc: sc}
+}
+
+func (s *scanner) next() (string, bool) {
+	for s.sc.Scan() {
+		s.line++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "UCLA") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+func readNodes(d *netlist.Design, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s := newScanner(f)
+	for {
+		line, ok := s.next()
+		if !ok {
+			break
+		}
+		if strings.HasPrefix(line, "NumNodes") || strings.HasPrefix(line, "NumTerminals") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return fmt.Errorf("%s:%d: malformed node line %q", path, s.line, line)
+		}
+		w, err1 := strconv.ParseFloat(fields[1], 64)
+		h, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("%s:%d: bad node size %q", path, s.line, line)
+		}
+		c := netlist.Cell{Name: fields[0], W: w, H: h}
+		if len(fields) > 3 {
+			switch fields[3] {
+			case "terminal":
+				c.Fixed = true
+				c.Kind = netlist.Pad
+				if w > 1 && h > 1 {
+					c.Kind = netlist.Macro
+				}
+			case "terminal_NI":
+				c.Fixed = true
+				c.Kind = netlist.Pad
+			}
+		}
+		d.AddCell(c)
+	}
+	return s.sc.Err()
+}
+
+func readNets(d *netlist.Design, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s := newScanner(f)
+	curNet := -1
+	for {
+		line, ok := s.next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, "NumNets"), strings.HasPrefix(line, "NumPins"):
+			continue
+		case strings.HasPrefix(line, "NetDegree"):
+			// "NetDegree : 3 netName"
+			fields := strings.Fields(line)
+			name := ""
+			if len(fields) >= 4 {
+				name = fields[3]
+			}
+			curNet = d.AddNet(name, 1)
+		default:
+			if curNet < 0 {
+				return fmt.Errorf("%s:%d: pin before NetDegree", path, s.line)
+			}
+			// "cellName I : ox oy" (offsets optional)
+			fields := strings.Fields(line)
+			ci := d.CellByName(fields[0])
+			if ci < 0 {
+				return fmt.Errorf("%s:%d: unknown cell %q", path, s.line, fields[0])
+			}
+			ox, oy := 0.0, 0.0
+			if i := indexOf(fields, ":"); i >= 0 && len(fields) >= i+3 {
+				ox, _ = strconv.ParseFloat(fields[i+1], 64)
+				oy, _ = strconv.ParseFloat(fields[i+2], 64)
+			}
+			pi := d.Connect(ci, curNet, ox, oy)
+			if len(fields) > 1 {
+				switch fields[1] {
+				case "I":
+					d.Pins[pi].Dir = netlist.DirIn
+				case "O":
+					d.Pins[pi].Dir = netlist.DirOut
+				}
+			}
+		}
+	}
+	return s.sc.Err()
+}
+
+func readWts(d *netlist.Design, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		// .wts files are frequently absent or empty placeholders.
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	byName := map[string]int{}
+	for ni := range d.Nets {
+		if d.Nets[ni].Name != "" {
+			byName[d.Nets[ni].Name] = ni
+		}
+	}
+	s := newScanner(f)
+	for {
+		line, ok := s.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if ni, ok := byName[fields[0]]; ok {
+			if w, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				d.Nets[ni].Weight = w
+			}
+		}
+	}
+	return s.sc.Err()
+}
+
+// ReadPL loads positions (lower-left corners) from a .pl file into an
+// existing design, honoring /FIXED suffixes.
+func ReadPL(d *netlist.Design, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s := newScanner(f)
+	for {
+		line, ok := s.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		ci := d.CellByName(fields[0])
+		if ci < 0 {
+			return fmt.Errorf("%s:%d: unknown cell %q", path, s.line, fields[0])
+		}
+		x, err1 := strconv.ParseFloat(fields[1], 64)
+		y, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("%s:%d: bad coordinates %q", path, s.line, line)
+		}
+		c := &d.Cells[ci]
+		c.X = x + c.W/2
+		c.Y = y + c.H/2
+		if strings.Contains(line, "/FIXED") {
+			c.Fixed = true
+		}
+	}
+	return s.sc.Err()
+}
+
+func readSCL(d *netlist.Design, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s := newScanner(f)
+	var row netlist.Row
+	inRow := false
+	var siteSpacing float64
+	var numSites float64
+	for {
+		line, ok := s.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		key := strings.ToLower(strings.TrimSuffix(fields[0], ":"))
+		switch key {
+		case "corerow":
+			inRow = true
+			row = netlist.Row{}
+			siteSpacing, numSites = 0, 0
+		case "end":
+			if inRow {
+				if siteSpacing > 0 && numSites > 0 {
+					row.Hx = row.Lx + siteSpacing*numSites
+					row.SiteW = siteSpacing
+				}
+				d.Rows = append(d.Rows, row)
+				inRow = false
+			}
+		case "coordinate":
+			row.Y = lastFloat(fields)
+		case "height":
+			row.Height = lastFloat(fields)
+		case "sitewidth":
+			// informational; spacing drives the grid
+		case "sitespacing":
+			siteSpacing = lastFloat(fields)
+		case "subroworigin":
+			// "SubrowOrigin : x NumSites : n"
+			for i := 0; i < len(fields); i++ {
+				switch strings.ToLower(strings.TrimSuffix(fields[i], ":")) {
+				case "subroworigin":
+					if v, ok := floatAfter(fields, i); ok {
+						row.Lx = v
+					}
+				case "numsites":
+					if v, ok := floatAfter(fields, i); ok {
+						numSites = v
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(d.Rows, func(a, b int) bool { return d.Rows[a].Y < d.Rows[b].Y })
+	return s.sc.Err()
+}
+
+// deriveRegion sets the placement region from rows when present, else
+// from the bounding box of all objects.
+func deriveRegion(d *netlist.Design) {
+	if len(d.Rows) > 0 {
+		r := geom.Rect{Lx: d.Rows[0].Lx, Ly: d.Rows[0].Y,
+			Hx: d.Rows[0].Hx, Hy: d.Rows[0].Y + d.Rows[0].Height}
+		for _, row := range d.Rows[1:] {
+			r = r.Union(geom.Rect{Lx: row.Lx, Ly: row.Y, Hx: row.Hx, Hy: row.Y + row.Height})
+		}
+		d.Region = r
+		return
+	}
+	if len(d.Cells) == 0 {
+		d.Region = geom.Rect{Hx: 1, Hy: 1}
+		return
+	}
+	r := d.Cells[0].Rect()
+	for i := range d.Cells {
+		r = r.Union(d.Cells[i].Rect())
+	}
+	d.Region = r
+}
+
+// WriteAux writes a complete Bookshelf benchmark (aux, nodes, nets, wts,
+// pl, scl) under dir with the given base name.
+func WriteAux(d *netlist.Design, dir, base string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, base+".nodes"), func(w *bufio.Writer) error {
+		return writeNodes(d, w)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, base+".nets"), func(w *bufio.Writer) error {
+		return writeNets(d, w)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, base+".wts"), func(w *bufio.Writer) error {
+		for ni := range d.Nets {
+			if d.Nets[ni].Name != "" && d.Nets[ni].Weight != 1 && d.Nets[ni].Weight != 0 {
+				fmt.Fprintf(w, "%s %g\n", d.Nets[ni].Name, d.Nets[ni].Weight)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := WritePL(d, filepath.Join(dir, base+".pl")); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, base+".scl"), func(w *bufio.Writer) error {
+		return writeSCL(d, w)
+	}); err != nil {
+		return err
+	}
+	return writeFile(filepath.Join(dir, base+".aux"), func(w *bufio.Writer) error {
+		fmt.Fprintf(w, "RowBasedPlacement : %s.nodes %s.nets %s.wts %s.pl %s.scl\n",
+			base, base, base, base, base)
+		return nil
+	})
+}
+
+func writeFile(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeNodes(d *netlist.Design, w *bufio.Writer) error {
+	fmt.Fprintf(w, "UCLA nodes 1.0\n\n")
+	terminals := 0
+	for i := range d.Cells {
+		if d.Cells[i].Fixed {
+			terminals++
+		}
+	}
+	fmt.Fprintf(w, "NumNodes : %d\nNumTerminals : %d\n", len(d.Cells), terminals)
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("o%d", i)
+		}
+		if c.Fixed {
+			fmt.Fprintf(w, "%s %g %g terminal\n", name, c.W, c.H)
+		} else {
+			fmt.Fprintf(w, "%s %g %g\n", name, c.W, c.H)
+		}
+	}
+	return nil
+}
+
+func writeNets(d *netlist.Design, w *bufio.Writer) error {
+	fmt.Fprintf(w, "UCLA nets 1.0\n\n")
+	fmt.Fprintf(w, "NumNets : %d\nNumPins : %d\n", len(d.Nets), len(d.Pins))
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		name := net.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", ni)
+		}
+		fmt.Fprintf(w, "NetDegree : %d %s\n", len(net.Pins), name)
+		for _, pi := range net.Pins {
+			p := &d.Pins[pi]
+			cname := fmt.Sprintf("o%d", p.Cell)
+			if p.Cell >= 0 && d.Cells[p.Cell].Name != "" {
+				cname = d.Cells[p.Cell].Name
+			}
+			dir := "B"
+			switch p.Dir {
+			case netlist.DirIn:
+				dir = "I"
+			case netlist.DirOut:
+				dir = "O"
+			}
+			fmt.Fprintf(w, "  %s %s : %g %g\n", cname, dir, p.Ox, p.Oy)
+		}
+	}
+	return nil
+}
+
+// WritePL writes the placement as lower-left corners.
+func WritePL(d *netlist.Design, path string) error {
+	return writeFile(path, func(w *bufio.Writer) error {
+		fmt.Fprintf(w, "UCLA pl 1.0\n\n")
+		for i := range d.Cells {
+			c := &d.Cells[i]
+			name := c.Name
+			if name == "" {
+				name = fmt.Sprintf("o%d", i)
+			}
+			suffix := ""
+			if c.Fixed {
+				suffix = " /FIXED"
+			}
+			fmt.Fprintf(w, "%s %g %g : N%s\n", name, c.X-c.W/2, c.Y-c.H/2, suffix)
+		}
+		return nil
+	})
+}
+
+func writeSCL(d *netlist.Design, w *bufio.Writer) error {
+	fmt.Fprintf(w, "UCLA scl 1.0\n\n")
+	fmt.Fprintf(w, "NumRows : %d\n", len(d.Rows))
+	for _, r := range d.Rows {
+		siteW := r.SiteW
+		if siteW <= 0 {
+			siteW = 1
+		}
+		fmt.Fprintf(w, "CoreRow Horizontal\n")
+		fmt.Fprintf(w, "  Coordinate : %g\n", r.Y)
+		fmt.Fprintf(w, "  Height : %g\n", r.Height)
+		fmt.Fprintf(w, "  Sitewidth : %g\n", siteW)
+		fmt.Fprintf(w, "  Sitespacing : %g\n", siteW)
+		fmt.Fprintf(w, "  SubrowOrigin : %g NumSites : %d\n", r.Lx, int((r.Hx-r.Lx)/siteW))
+		fmt.Fprintf(w, "End\n")
+	}
+	return nil
+}
+
+// floatAfter returns the first parseable float strictly after index i,
+// skipping ":" separators.
+func floatAfter(fields []string, i int) (float64, bool) {
+	for j := i + 1; j < len(fields); j++ {
+		if v, err := strconv.ParseFloat(fields[j], 64); err == nil {
+			return v, true
+		}
+		if fields[j] != ":" {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+func lastFloat(fields []string) float64 {
+	for i := len(fields) - 1; i >= 0; i-- {
+		if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+func indexOf(fields []string, s string) int {
+	for i, f := range fields {
+		if f == s {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,187 @@
+package bookshelf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+)
+
+func TestRoundTrip(t *testing.T) {
+	d := synth.Generate(synth.Spec{Name: "rt", NumCells: 200, NumFixedMacros: 3, NumMovableMacros: 2})
+	dir := t.TempDir()
+	if err := WriteAux(d, dir, "rt"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAux(filepath.Join(dir, "rt.aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(d.Cells) {
+		t.Fatalf("cells %d != %d", len(back.Cells), len(d.Cells))
+	}
+	if len(back.Nets) != len(d.Nets) || len(back.Pins) != len(d.Pins) {
+		t.Fatalf("nets/pins mismatch: %d/%d vs %d/%d",
+			len(back.Nets), len(back.Pins), len(d.Nets), len(d.Pins))
+	}
+	if len(back.Rows) != len(d.Rows) {
+		t.Fatalf("rows %d != %d", len(back.Rows), len(d.Rows))
+	}
+	// Positions and sizes survive.
+	for i := range d.Cells {
+		a, b := &d.Cells[i], &back.Cells[i]
+		if math.Abs(a.X-b.X) > 1e-9 || math.Abs(a.Y-b.Y) > 1e-9 {
+			t.Fatalf("cell %d position (%v,%v) vs (%v,%v)", i, a.X, a.Y, b.X, b.Y)
+		}
+		if a.W != b.W || a.H != b.H {
+			t.Fatalf("cell %d size mismatch", i)
+		}
+		if a.Fixed != b.Fixed {
+			t.Fatalf("cell %d fixed flag mismatch", i)
+		}
+	}
+	// HPWL identical (pin offsets survive).
+	if math.Abs(back.HPWL()-d.HPWL()) > 1e-6*d.HPWL() {
+		t.Errorf("HPWL %v != %v", back.HPWL(), d.HPWL())
+	}
+	if err := back.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadHandwritten(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("x.aux", "RowBasedPlacement : x.nodes x.nets x.wts x.pl x.scl\n")
+	write("x.nodes", `UCLA nodes 1.0
+# comment
+NumNodes : 3
+NumTerminals : 1
+	a	2	4
+	b	3	4
+	p1	10	12 terminal
+`)
+	write("x.nets", `UCLA nets 1.0
+NumNets : 2
+NumPins : 4
+NetDegree : 2 n0
+	a I : 0.5 0
+	b O : -0.5 0
+NetDegree : 2 n1
+	b I
+	p1 O : 0 0
+`)
+	write("x.wts", "n1 2.5\n")
+	write("x.pl", `UCLA pl 1.0
+a 0 0 : N
+b 10 0 : N
+p1 50 20 : N /FIXED
+`)
+	write("x.scl", `UCLA scl 1.0
+NumRows : 2
+CoreRow Horizontal
+  Coordinate : 0
+  Height : 4
+  Sitewidth : 1
+  Sitespacing : 1
+  SubrowOrigin : 0 NumSites : 60
+End
+CoreRow Horizontal
+  Coordinate : 4
+  Height : 4
+  Sitewidth : 1
+  Sitespacing : 1
+  SubrowOrigin : 0 NumSites : 60
+End
+`)
+	d, err := ReadAux(filepath.Join(dir, "x.aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 3 || len(d.Nets) != 2 || len(d.Pins) != 4 {
+		t.Fatalf("structure: %d cells %d nets %d pins", len(d.Cells), len(d.Nets), len(d.Pins))
+	}
+	// a at lower-left (0,0) with size 2x4 -> center (1,2).
+	a := d.Cells[d.CellByName("a")]
+	if a.X != 1 || a.Y != 2 {
+		t.Errorf("a center = (%v, %v)", a.X, a.Y)
+	}
+	p1 := d.Cells[d.CellByName("p1")]
+	if !p1.Fixed {
+		t.Error("p1 not fixed")
+	}
+	if p1.Kind != netlist.Macro {
+		t.Errorf("p1 kind = %v, want macro (large terminal)", p1.Kind)
+	}
+	if d.Nets[1].Weight != 2.5 {
+		t.Errorf("n1 weight = %v", d.Nets[1].Weight)
+	}
+	// Pin offset on net 0 pin 0.
+	if d.Pins[0].Ox != 0.5 {
+		t.Errorf("pin offset = %v", d.Pins[0].Ox)
+	}
+	// Rows and region.
+	if len(d.Rows) != 2 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	if d.Region.Hx != 60 || d.Region.Hy != 8 {
+		t.Errorf("region = %v", d.Region)
+	}
+	if d.Rows[0].SiteW != 1 {
+		t.Errorf("site width = %v", d.Rows[0].SiteW)
+	}
+}
+
+func TestReadPLUpdatesPositions(t *testing.T) {
+	d := synth.Generate(synth.Spec{Name: "pl", NumCells: 50})
+	dir := t.TempDir()
+	// Shift everything and write a PL; reading it back must restore.
+	orig := make([]float64, len(d.Cells))
+	for i := range d.Cells {
+		orig[i] = d.Cells[i].X
+	}
+	if err := WritePL(d, filepath.Join(dir, "a.pl")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Cells {
+		d.Cells[i].X += 5
+	}
+	if err := ReadPL(d, filepath.Join(dir, "a.pl")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Cells {
+		if math.Abs(d.Cells[i].X-orig[i]) > 1e-9 {
+			t.Fatalf("cell %d x = %v, want %v", i, d.Cells[i].X, orig[i])
+		}
+	}
+}
+
+func TestMissingFileErrors(t *testing.T) {
+	if _, err := ReadAux("/nonexistent/x.aux"); err == nil {
+		t.Error("expected error for missing aux")
+	}
+	dir := t.TempDir()
+	aux := filepath.Join(dir, "y.aux")
+	os.WriteFile(aux, []byte("RowBasedPlacement : y.nodes y.nets y.pl\n"), 0o644)
+	if _, err := ReadAux(aux); err == nil {
+		t.Error("expected error for missing nodes file")
+	}
+}
+
+func TestUnknownCellInNetsErrors(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "z.aux"), []byte("RowBasedPlacement : z.nodes z.nets z.pl\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "z.nodes"), []byte("NumNodes : 1\na 1 1\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "z.nets"), []byte("NetDegree : 2 n\n a I\n ghost I\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "z.pl"), []byte("a 0 0 : N\n"), 0o644)
+	if _, err := ReadAux(filepath.Join(dir, "z.aux")); err == nil {
+		t.Error("expected error for unknown cell in nets")
+	}
+}

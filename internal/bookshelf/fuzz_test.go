@@ -1,0 +1,78 @@
+package bookshelf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBench materializes one benchmark from raw file contents.
+func writeBench(t testing.TB, nodes, nets, pl, scl string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"f.aux":   "RowBasedPlacement : f.nodes f.nets f.pl f.scl\n",
+		"f.nodes": nodes,
+		"f.nets":  nets,
+		"f.pl":    pl,
+		"f.scl":   scl,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, "f.aux")
+}
+
+// FuzzReadAux feeds arbitrary file contents through the reader: it may
+// reject them with an error, but it must never panic, and anything it
+// accepts must pass Validate.
+func FuzzReadAux(f *testing.F) {
+	f.Add("NumNodes : 1\na 2 2\n", "NetDegree : 2 n\n a I\n a O\n", "a 0 0 : N\n",
+		"CoreRow Horizontal\n Coordinate : 0\n Height : 2\n Sitespacing : 1\n SubrowOrigin : 0 NumSites : 10\nEnd\n")
+	f.Add("a 2", "garbage", "", "")
+	f.Add("NumNodes : 2\na 1 1\nb 3 3 terminal\n", "NetDegree : 2\n a\n b\n", "a 5 5 : N\nb 1 1 : N /FIXED\n", "")
+	f.Add("", "", "", "")
+	f.Add("a -1 -1\n", "NetDegree : 0 empty\n", "a 1e308 1e308 : N\n", "CoreRow\nEnd\n")
+	f.Fuzz(func(t *testing.T, nodes, nets, pl, scl string) {
+		aux := writeBench(t, nodes, nets, pl, scl)
+		d, err := ReadAux(aux)
+		if err != nil {
+			return
+		}
+		// Accepted designs must be structurally sound enough to walk.
+		_ = d.HPWL()
+		_ = d.Stats()
+		for pi := range d.Pins {
+			if d.Pins[pi].Net < 0 || d.Pins[pi].Net >= len(d.Nets) {
+				t.Fatalf("pin %d references net %d of %d", pi, d.Pins[pi].Net, len(d.Nets))
+			}
+			if d.Pins[pi].Cell >= len(d.Cells) {
+				t.Fatalf("pin %d references cell %d of %d", pi, d.Pins[pi].Cell, len(d.Cells))
+			}
+		}
+	})
+}
+
+// FuzzReadPL: arbitrary .pl contents against a fixed design must never
+// panic.
+func FuzzReadPL(f *testing.F) {
+	f.Add("a 1 2 : N\n")
+	f.Add("a x y : N\n")
+	f.Add("ghost 1 2 : N /FIXED\n")
+	f.Add(": : :\n\n#c\nUCLA pl 1.0\n")
+	f.Fuzz(func(t *testing.T, pl string) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "x.pl")
+		if err := os.WriteFile(path, []byte(pl), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		aux := writeBench(t, "NumNodes : 1\na 2 2\n", "NetDegree : 2 n\n a I\n a O\n", "a 0 0 : N\n", "")
+		d, err := ReadAux(aux)
+		if err != nil {
+			t.Skip()
+		}
+		_ = ReadPL(d, path) // errors fine, panics not
+	})
+}

@@ -1,0 +1,207 @@
+// Package congestion implements the paper's "extension towards
+// routability" (Sec. VIII) as a RUDY-based congestion estimator:
+// RUDY (Rectangular Uniform wire DensitY, Spindler & Johannes) spreads
+// each net's expected wire area uniformly over its bounding box, giving
+// a fast, router-free congestion map. The map feeds reporting and
+// congestion-driven net reweighting for a routability-aware placement
+// pass.
+package congestion
+
+import (
+	"math"
+
+	"eplace/internal/netlist"
+)
+
+// Options tunes the estimator.
+type Options struct {
+	// WireWidth is the routed wire width plus spacing in design units
+	// (default: half a row height approximated as 1).
+	WireWidth float64
+	// SupplyPerArea is the routing capacity per unit chip area in wire
+	// area units (default 1.0: one full layer's worth).
+	SupplyPerArea float64
+}
+
+func (o *Options) defaults() {
+	if o.WireWidth <= 0 {
+		o.WireWidth = 1
+	}
+	if o.SupplyPerArea <= 0 {
+		o.SupplyPerArea = 1
+	}
+}
+
+// Map is a congestion map over an m x m grid.
+type Map struct {
+	M      int
+	Region [4]float64 // Lx, Ly, Hx, Hy
+	// Demand is the RUDY wire-area demand per bin.
+	Demand []float64
+	// Supply is the routing capacity per bin.
+	Supply float64
+	binW   float64
+	binH   float64
+}
+
+// Compute builds the RUDY map of the design's current placement.
+func Compute(d *netlist.Design, m int, opt Options) *Map {
+	opt.defaults()
+	if m <= 0 {
+		m = 64
+	}
+	mp := &Map{
+		M:      m,
+		Region: [4]float64{d.Region.Lx, d.Region.Ly, d.Region.Hx, d.Region.Hy},
+		Demand: make([]float64, m*m),
+		binW:   d.Region.W() / float64(m),
+		binH:   d.Region.H() / float64(m),
+	}
+	mp.Supply = opt.SupplyPerArea * mp.binW * mp.binH
+
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		if len(net.Pins) < 2 {
+			continue
+		}
+		lx, ly, hx, hy := netBBox(d, ni)
+		w := hx - lx
+		h := hy - ly
+		// Degenerate boxes still occupy one wire width.
+		if w < opt.WireWidth {
+			w = opt.WireWidth
+		}
+		if h < opt.WireWidth {
+			h = opt.WireWidth
+		}
+		// RUDY: wire area = wirewidth * HPWL, spread over the box.
+		wireArea := opt.WireWidth * (w + h)
+		density := wireArea / (w * h)
+		mp.splat(lx, ly, lx+w, ly+h, density)
+	}
+	return mp
+}
+
+// netBBox returns the pin bounding box of net ni.
+func netBBox(d *netlist.Design, ni int) (lx, ly, hx, hy float64) {
+	lx, ly = math.Inf(1), math.Inf(1)
+	hx, hy = math.Inf(-1), math.Inf(-1)
+	for _, pi := range d.Nets[ni].Pins {
+		p := d.PinPos(pi)
+		lx, hx = math.Min(lx, p.X), math.Max(hx, p.X)
+		ly, hy = math.Min(ly, p.Y), math.Max(hy, p.Y)
+	}
+	return lx, ly, hx, hy
+}
+
+// splat accumulates density * overlap area into the covered bins.
+func (mp *Map) splat(lx, ly, hx, hy, density float64) {
+	m := mp.M
+	i0 := clamp(int((lx-mp.Region[0])/mp.binW), 0, m-1)
+	i1 := clamp(int(math.Ceil((hx-mp.Region[0])/mp.binW)), 1, m)
+	j0 := clamp(int((ly-mp.Region[1])/mp.binH), 0, m-1)
+	j1 := clamp(int(math.Ceil((hy-mp.Region[1])/mp.binH)), 1, m)
+	for j := j0; j < j1; j++ {
+		by := mp.Region[1] + float64(j)*mp.binH
+		oy := math.Min(hy, by+mp.binH) - math.Max(ly, by)
+		if oy <= 0 {
+			continue
+		}
+		for i := i0; i < i1; i++ {
+			bx := mp.Region[0] + float64(i)*mp.binW
+			ox := math.Min(hx, bx+mp.binW) - math.Max(lx, bx)
+			if ox > 0 {
+				mp.Demand[j*m+i] += density * ox * oy
+			}
+		}
+	}
+}
+
+// Ratio returns demand/supply of bin (i, j).
+func (mp *Map) Ratio(i, j int) float64 {
+	return mp.Demand[j*mp.M+i] / mp.Supply
+}
+
+// RatioAt returns the congestion ratio at a point.
+func (mp *Map) RatioAt(x, y float64) float64 {
+	i := clamp(int((x-mp.Region[0])/mp.binW), 0, mp.M-1)
+	j := clamp(int((y-mp.Region[1])/mp.binH), 0, mp.M-1)
+	return mp.Ratio(i, j)
+}
+
+// Stats summarizes the map.
+type Stats struct {
+	// MaxRatio is the peak demand/supply.
+	MaxRatio float64
+	// AvgRatio averages over all bins.
+	AvgRatio float64
+	// OverflowedBins counts bins with demand > supply.
+	OverflowedBins int
+	// TotalOverflow sums demand exceeding supply, in wire-area units.
+	TotalOverflow float64
+}
+
+// Stats computes the summary.
+func (mp *Map) Stats() Stats {
+	var s Stats
+	for _, dem := range mp.Demand {
+		r := dem / mp.Supply
+		s.AvgRatio += r
+		if r > s.MaxRatio {
+			s.MaxRatio = r
+		}
+		if dem > mp.Supply {
+			s.OverflowedBins++
+			s.TotalOverflow += dem - mp.Supply
+		}
+	}
+	s.AvgRatio /= float64(len(mp.Demand))
+	return s
+}
+
+// Weights raises the weight of nets whose bounding boxes cross
+// congested bins:
+//
+//	w = 1 + strength * max(0, maxRatioInBBox - 1)
+//
+// writing them into the design and returning how many changed. Running
+// global placement again with these weights pulls congested nets
+// tighter and spreads hotspots, the standard congestion-driven loop.
+func (mp *Map) Weights(d *netlist.Design, strength float64) int {
+	changed := 0
+	for ni := range d.Nets {
+		if len(d.Nets[ni].Pins) < 2 {
+			continue
+		}
+		lx, ly, hx, hy := netBBox(d, ni)
+		m := mp.M
+		i0 := clamp(int((lx-mp.Region[0])/mp.binW), 0, m-1)
+		i1 := clamp(int(math.Ceil((hx-mp.Region[0])/mp.binW)), i0+1, m)
+		j0 := clamp(int((ly-mp.Region[1])/mp.binH), 0, m-1)
+		j1 := clamp(int(math.Ceil((hy-mp.Region[1])/mp.binH)), j0+1, m)
+		maxR := 0.0
+		for j := j0; j < j1; j++ {
+			for i := i0; i < i1; i++ {
+				if r := mp.Ratio(i, j); r > maxR {
+					maxR = r
+				}
+			}
+		}
+		w := 1 + strength*math.Max(0, maxR-1)
+		if d.Nets[ni].Weight != w {
+			d.Nets[ni].Weight = w
+			changed++
+		}
+	}
+	return changed
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

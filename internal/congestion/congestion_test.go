@@ -1,0 +1,142 @@
+package congestion
+
+import (
+	"math"
+	"testing"
+
+	"eplace/internal/geom"
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+)
+
+// twoPin builds one net spanning (x0,y0)-(x1,y1).
+func twoPin(x0, y0, x1, y1 float64) *netlist.Design {
+	d := netlist.New("c", geom.Rect{Hx: 64, Hy: 64})
+	a := d.AddCell(netlist.Cell{W: 1, H: 1, X: x0, Y: y0})
+	b := d.AddCell(netlist.Cell{W: 1, H: 1, X: x1, Y: y1})
+	ni := d.AddNet("", 1)
+	d.Connect(a, ni, 0, 0)
+	d.Connect(b, ni, 0, 0)
+	return d
+}
+
+func TestDemandConservation(t *testing.T) {
+	d := twoPin(10, 10, 40, 30)
+	mp := Compute(d, 32, Options{WireWidth: 1})
+	total := 0.0
+	for _, v := range mp.Demand {
+		total += v
+	}
+	// Wire area = wireWidth * (w + h) = 1 * (30 + 20) = 50.
+	if math.Abs(total-50) > 1e-6 {
+		t.Errorf("total demand = %v, want 50", total)
+	}
+}
+
+func TestDemandInsideBBoxOnly(t *testing.T) {
+	d := twoPin(10, 10, 20, 20)
+	mp := Compute(d, 32, Options{WireWidth: 1})
+	for j := 0; j < 32; j++ {
+		for i := 0; i < 32; i++ {
+			cx := float64(i)*2 + 1
+			cy := float64(j)*2 + 1
+			inside := cx >= 8 && cx <= 22 && cy >= 8 && cy <= 22
+			if !inside && mp.Demand[j*32+i] > 1e-12 {
+				t.Fatalf("demand outside bbox at bin (%d,%d): %v", i, j, mp.Demand[j*32+i])
+			}
+		}
+	}
+}
+
+func TestCrossingNetsCreateHotspot(t *testing.T) {
+	// Many nets through the center vs an empty corner.
+	d := netlist.New("x", geom.Rect{Hx: 64, Hy: 64})
+	for k := 0; k < 20; k++ {
+		a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 20, Y: 30 + float64(k)/10})
+		b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 44, Y: 32 + float64(k)/10})
+		ni := d.AddNet("", 1)
+		d.Connect(a, ni, 0, 0)
+		d.Connect(b, ni, 0, 0)
+	}
+	mp := Compute(d, 32, Options{WireWidth: 1})
+	center := mp.RatioAt(32, 31)
+	corner := mp.RatioAt(2, 2)
+	if center <= corner {
+		t.Errorf("center ratio %v not above corner %v", center, corner)
+	}
+	st := mp.Stats()
+	if st.MaxRatio <= 0 || st.AvgRatio <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxRatio < st.AvgRatio {
+		t.Errorf("max %v below avg %v", st.MaxRatio, st.AvgRatio)
+	}
+}
+
+func TestDegenerateNetStillCounted(t *testing.T) {
+	// Two pins at the same point: the box degenerates but demand stays
+	// finite and positive.
+	d := twoPin(30, 30, 30, 30)
+	mp := Compute(d, 32, Options{WireWidth: 1})
+	total := 0.0
+	for _, v := range mp.Demand {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite demand")
+		}
+		total += v
+	}
+	if total <= 0 {
+		t.Error("degenerate net contributed nothing")
+	}
+}
+
+func TestWeightsRaiseCongestedNets(t *testing.T) {
+	d := netlist.New("w", geom.Rect{Hx: 64, Hy: 64})
+	// A congested bundle and one far-away lonely net.
+	for k := 0; k < 30; k++ {
+		a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 10, Y: 10.0 + float64(k)*0.01})
+		b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 14, Y: 10.0 + float64(k)*0.01})
+		ni := d.AddNet("", 1)
+		d.Connect(a, ni, 0, 0)
+		d.Connect(b, ni, 0, 0)
+	}
+	la := d.AddCell(netlist.Cell{W: 1, H: 1, X: 50, Y: 50})
+	lb := d.AddCell(netlist.Cell{W: 1, H: 1, X: 54, Y: 50})
+	lone := d.AddNet("", 1)
+	d.Connect(la, lone, 0, 0)
+	d.Connect(lb, lone, 0, 0)
+
+	mp := Compute(d, 32, Options{WireWidth: 1})
+	changed := mp.Weights(d, 2)
+	if changed == 0 {
+		t.Fatal("no weights changed")
+	}
+	if d.Nets[0].Weight <= d.Nets[lone].Weight {
+		t.Errorf("congested net weight %v not above lonely %v",
+			d.Nets[0].Weight, d.Nets[lone].Weight)
+	}
+	if math.Abs(d.Nets[lone].Weight-1) > 0.2 {
+		t.Errorf("lonely net weight = %v, want ~1", d.Nets[lone].Weight)
+	}
+}
+
+func TestOnSyntheticPlacement(t *testing.T) {
+	d := synth.Generate(synth.Spec{Name: "cong", NumCells: 800})
+	mp := Compute(d, 0, Options{})
+	st := mp.Stats()
+	if st.AvgRatio <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A random placement of a connected netlist is congested somewhere.
+	if st.MaxRatio < st.AvgRatio {
+		t.Errorf("max %v < avg %v", st.MaxRatio, st.AvgRatio)
+	}
+}
+
+func BenchmarkCompute5k(b *testing.B) {
+	d := synth.Generate(synth.Spec{Name: "cb", NumCells: 5000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(d, 64, Options{})
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"eplace/internal/density"
+	"eplace/internal/geom"
+	"eplace/internal/grid"
+	"eplace/internal/nesterov"
+	"eplace/internal/netlist"
+	"eplace/internal/wirelength"
+)
+
+// engine evaluates f = W~ + lambda*N and its preconditioned gradient
+// for one set of movable cells.
+type engine struct {
+	d   *netlist.Design
+	idx []int
+	wl  *wirelength.Model
+	dm  *density.Model
+	opt Options
+
+	lambda float64
+	gamma  float64
+
+	// Per-cell constants for the preconditioner: vertex degree |E_i| and
+	// normalized charge q_i / binArea (Sec. V-D).
+	degree []float64
+	qNorm  []float64
+
+	// Per-cell half sizes for clamping.
+	halfW, halfH []float64
+
+	gw, gd []float64 // wirelength and density gradient scratch
+
+	stage string
+
+	// timing accumulators (Fig. 7)
+	densityTime time.Duration
+	wlTime      time.Duration
+}
+
+func newEngine(d *netlist.Design, idx []int, opt Options) *engine {
+	m := opt.GridM
+	if m == 0 {
+		m = grid.ChooseM(len(d.Cells))
+	}
+	e := &engine{
+		d:      d,
+		idx:    idx,
+		wl:     wirelength.New(d, idx, 1),
+		dm:     density.NewModel(d, m),
+		opt:    opt,
+		degree: make([]float64, len(idx)),
+		qNorm:  make([]float64, len(idx)),
+		halfW:  make([]float64, len(idx)),
+		halfH:  make([]float64, len(idx)),
+		gw:     make([]float64, 2*len(idx)),
+		gd:     make([]float64, 2*len(idx)),
+	}
+	binArea := e.dm.Grid.BinArea()
+	for k, ci := range idx {
+		c := &d.Cells[ci]
+		nets := map[int]bool{}
+		for _, pi := range c.Pins {
+			nets[d.Pins[pi].Net] = true
+		}
+		e.degree[k] = float64(len(nets))
+		e.qNorm[k] = c.Area() / binArea
+		e.halfW[k] = c.W / 2
+		e.halfH[k] = c.H / 2
+	}
+	return e
+}
+
+// clamp keeps every cell's center inside the region, respecting size.
+func (e *engine) clamp(v []float64) {
+	n := len(e.idx)
+	r := e.d.Region
+	for k := 0; k < n; k++ {
+		v[k] = geom.Clamp(v[k], r.Lx+e.halfW[k], r.Hx-e.halfW[k])
+		v[k+n] = geom.Clamp(v[k+n], r.Ly+e.halfH[k], r.Hy-e.halfH[k])
+	}
+}
+
+// gradient evaluates the preconditioned gradient of f at v.
+func (e *engine) gradient(v, g []float64) {
+	e.d.SetPositions(e.idx, v)
+	t0 := time.Now()
+	e.wl.CostAndGradient(e.gw)
+	e.wlTime += time.Since(t0)
+	t0 = time.Now()
+	e.dm.Refresh(e.idx)
+	e.dm.Gradient(e.idx, e.gd)
+	e.densityTime += time.Since(t0)
+
+	n := len(e.idx)
+	for k := 0; k < n; k++ {
+		p := 1.0
+		if !e.opt.DisablePrecond {
+			// H~_f = |E_i| + lambda * q_i (Eq. 11-13), floored to stay
+			// positive definite for isolated cells at tiny lambda.
+			p = e.degree[k] + e.lambda*e.qNorm[k]
+			if p < 1e-4 {
+				p = 1e-4
+			}
+		}
+		g[k] = (e.gw[k] + e.lambda*e.gd[k]) / p
+		g[k+n] = (e.gw[k+n] + e.lambda*e.gd[k+n]) / p
+	}
+}
+
+// cost evaluates f at v (CG baseline only; Nesterov never needs it).
+func (e *engine) cost(v []float64) float64 {
+	e.d.SetPositions(e.idx, v)
+	t0 := time.Now()
+	w := e.wl.Cost()
+	e.wlTime += time.Since(t0)
+	t0 = time.Now()
+	e.dm.Refresh(e.idx)
+	e.densityTime += time.Since(t0)
+	return w + e.lambda*e.dm.Energy()
+}
+
+// initLambda balances the initial wirelength and density gradient norms
+// (sum of absolute values), the standard ePlace initialization.
+func (e *engine) initLambda(v []float64) {
+	e.d.SetPositions(e.idx, v)
+	e.wl.CostAndGradient(e.gw)
+	e.dm.Refresh(e.idx)
+	e.dm.Gradient(e.idx, e.gd)
+	var sw, sd float64
+	for i := range e.gw {
+		sw += math.Abs(e.gw[i])
+		sd += math.Abs(e.gd[i])
+	}
+	if sd == 0 {
+		e.lambda = 1
+		return
+	}
+	e.lambda = sw / sd
+	if e.lambda <= 0 {
+		e.lambda = 1
+	}
+}
+
+// updateGamma applies the overflow-driven smoothing schedule
+// gamma = 8 * binW * 10^{(tau - 0.1) * 20/9 - 1}: ~80 bins of smoothing
+// at tau=1 down to ~0.8 at tau=0.1.
+func (e *engine) updateGamma(tau float64) {
+	bw := math.Min(e.dm.Grid.BinW, e.dm.Grid.BinH)
+	e.gamma = 8 * bw * math.Pow(10, (tau-0.1)*20/9-1)
+	e.wl.Gamma = e.gamma
+}
+
+// PlaceGlobal runs one global placement (the mGP or cGP loop) over the
+// movable cells idx of d, which must already hold the starting
+// positions. lambdaInit <= 0 selects automatic balancing. It returns
+// the result; final positions are written back to d.
+func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambdaInit float64) Result {
+	opt.defaults()
+	start := time.Now()
+	var res Result
+	if len(idx) == 0 {
+		res.HPWL = d.HPWL()
+		return res
+	}
+	e := newEngine(d, idx, opt)
+	e.stage = stage
+
+	v0 := d.Positions(idx)
+	e.clamp(v0)
+	tau0 := func() float64 {
+		e.d.SetPositions(e.idx, v0)
+		e.dm.Refresh(e.idx)
+		return e.dm.Overflow(d.TargetDensity)
+	}()
+	e.updateGamma(tau0)
+	if lambdaInit > 0 {
+		e.lambda = lambdaInit
+	} else if opt.LambdaInit > 0 {
+		e.lambda = opt.LambdaInit
+	} else {
+		e.initLambda(v0)
+	}
+
+	hpwl0 := d.HPWL()
+	prevHPWL := hpwl0
+
+	seedStep := 0.1 * math.Min(e.dm.Grid.BinW, e.dm.Grid.BinH)
+
+	var stepNesterov func() (float64, int)
+	var solution func() []float64
+	var opt2 *nesterov.Optimizer
+	var cg *nesterov.CGSolver
+	if opt.Solver == SolverNesterov {
+		opt2 = nesterov.New(v0, e.gradient, e.clamp, seedStep)
+		opt2.AdaptiveRestart = opt.AdaptiveRestart
+		stepNesterov = func() (float64, int) { return opt2.Step(opt.DisableBkTrk) }
+		solution = func() []float64 { return opt2.U }
+	} else {
+		cg = nesterov.NewCG(v0, e.cost, e.gradient, e.clamp, seedStep*10)
+		// Every objective evaluation costs a full Poisson solve; keep
+		// failed line searches from burning twenty of them.
+		cg.MaxTrials = 10
+		stepNesterov = func() (float64, int) { return cg.Step(), 0 }
+		solution = func() []float64 { return cg.V }
+	}
+
+	// Divergence guard: remember the best (lowest-overflow) solution.
+	best := append([]float64(nil), v0...)
+	bestTau := tau0
+	bestTauIter := 0
+
+	iter := 0
+	for ; iter < opt.MaxIters; iter++ {
+		alpha, bt := stepNesterov()
+		res.Backtracks += bt
+
+		u := solution()
+		e.d.SetPositions(e.idx, u)
+		hpwl := d.HPWL()
+		tau := e.dm.Overflow(d.TargetDensity) // from the latest Refresh
+
+		if tau <= bestTau {
+			bestTau = tau
+			bestTauIter = iter
+			copy(best, u)
+		}
+		if opt.Trace != nil {
+			opt.Trace.Add(Sample{
+				Stage: stage, Iteration: iter,
+				HPWL: hpwl, Overflow: tau, Energy: e.dm.Energy(),
+				Lambda: e.lambda, Gamma: e.gamma, Alpha: alpha, Backtracks: bt,
+			})
+		}
+
+		if math.IsNaN(hpwl) || hpwl > 20*math.Max(hpwl0, 1) {
+			res.Diverged = true
+			break
+		}
+		if tau <= opt.TargetOverflow && iter >= opt.MinIters {
+			iter++
+			break
+		}
+		// Stagnation: overflow has not improved for many iterations —
+		// the target is unreachable (e.g. infeasible density bound).
+		// Return the best snapshot instead of grinding lambda upward
+		// until wirelength explodes.
+		if iter-bestTauIter > 150 && iter >= opt.MinIters {
+			res.Stagnated = true
+			break
+		}
+
+		// Penalty schedule: mu = 1.1^{1 - dHPWL/ref} clamped to
+		// [0.95, 1.1], with the reference wirelength change a fixed
+		// fraction of the current HPWL (the analogue of ePlace's
+		// absolute 3.5e5 on ~1e8 ISPD wirelengths).
+		refDelta := opt.RefDeltaHPWLFrac * math.Max(hpwl, 1)
+		mu := math.Pow(1.1, math.Max(-3, math.Min(1, 1-(hpwl-prevHPWL)/refDelta)))
+		if mu < 0.95 {
+			mu = 0.95
+		}
+		if mu > 1.1 {
+			mu = 1.1
+		}
+		e.lambda *= mu
+		prevHPWL = hpwl
+		e.updateGamma(tau)
+	}
+
+	// Adopt the best snapshot if we diverged or stagnated past it.
+	final := solution()
+	if res.Diverged || res.Stagnated {
+		final = best
+	}
+	e.d.SetPositions(e.idx, final)
+	e.clampCells()
+
+	e.dm.Refresh(e.idx)
+	res.Iterations = iter
+	res.HPWL = d.HPWL()
+	res.Overflow = e.dm.Overflow(d.TargetDensity)
+	res.FinalLambda = e.lambda
+	if cg != nil {
+		res.CostEvals = cg.CostEvals
+	}
+	res.DensityTime = e.densityTime
+	res.WirelengthTime = e.wlTime
+	res.Total = time.Since(start)
+	res.OtherTime = res.Total - res.DensityTime - res.WirelengthTime
+	return res
+}
+
+// clampCells writes region-clamped positions back to the design.
+func (e *engine) clampCells() {
+	v := e.d.Positions(e.idx)
+	e.clamp(v)
+	e.d.SetPositions(e.idx, v)
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"eplace/internal/netlist"
+)
+
+// fillerDims picks filler cell dimensions from the middle 80% (by area)
+// of movable standard cells, the ePlace/FFTPL recipe: fillers the size
+// of a typical cell spread whitespace without distorting the field.
+func fillerDims(d *netlist.Design) (w, h float64) {
+	type wh struct{ w, h, a float64 }
+	var cells []wh
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if !c.Fixed && c.Kind == netlist.StdCell {
+			cells = append(cells, wh{c.W, c.H, c.Area()})
+		}
+	}
+	if len(cells) == 0 {
+		// Macro-only design: use a small fraction of the region.
+		return d.Region.W() / 100, d.Region.H() / 100
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].a < cells[b].a })
+	lo, hi := len(cells)/10, len(cells)-len(cells)/10
+	if hi <= lo {
+		lo, hi = 0, len(cells)
+	}
+	var sw, sh float64
+	for _, c := range cells[lo:hi] {
+		sw += c.w
+		sh += c.h
+	}
+	n := float64(hi - lo)
+	return sw / n, sh / n
+}
+
+// InsertFillers populates whitespace with unconnected filler cells so
+// that movable + filler area equals rhoT * free area (Sec. III), placed
+// uniformly at random (seeded). It returns the indices of the new cells.
+// No-op (returns nil) when the design is already at or above target
+// utilization.
+func InsertFillers(d *netlist.Design, seed int64) []int {
+	free := d.Region.Area() - d.FixedAreaInRegion()
+	want := d.TargetDensity*free - d.MovableArea()
+	if want <= 0 {
+		return nil
+	}
+	fw, fh := fillerDims(d)
+	if fw <= 0 || fh <= 0 {
+		return nil
+	}
+	count := int(math.Floor(want / (fw * fh)))
+	if count <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, 0, count)
+	r := d.Region
+	for k := 0; k < count; k++ {
+		x := r.Lx + fw/2 + rng.Float64()*(r.W()-fw)
+		y := r.Ly + fh/2 + rng.Float64()*(r.H()-fh)
+		idx = append(idx, d.AddCell(netlist.Cell{
+			W: fw, H: fh, X: x, Y: y, Kind: netlist.Filler,
+		}))
+	}
+	return idx
+}

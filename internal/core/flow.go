@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"eplace/internal/detail"
+	"eplace/internal/legalize"
+	"eplace/internal/netlist"
+	"eplace/internal/qp"
+)
+
+// FlowOptions configures the full placement flow of Fig. 1.
+type FlowOptions struct {
+	// GP configures both global placement stages (mGP and cGP).
+	GP Options
+	// MIP configures the quadratic initial placement.
+	MIP qp.Options
+	// MLG configures the annealing macro legalizer.
+	MLG legalize.MLGOptions
+	// Detail configures cDP refinement.
+	Detail detail.Options
+	// LegalizeMethod selects the cDP standard-cell legalizer.
+	LegalizeMethod legalize.Method
+	// SkipDetail stops after legalization (diagnostics).
+	SkipDetail bool
+	// SkipLegalization stops after global placement, leaving an
+	// overlapping layout (global-placement-quality studies).
+	SkipLegalization bool
+	// CGPFillerIters is the filler-only placement length (default 20,
+	// Sec. VI-B).
+	CGPFillerIters int
+	// MacroHalo inflates every movable macro by this margin per side
+	// during mGP's density model only (restored before mLG), the
+	// "deadspace allocation by appropriate macro inflation" the paper
+	// mentions in Sec. III. Larger halos leave more breathing room
+	// around macros for the standard cells.
+	MacroHalo float64
+}
+
+func (o *FlowOptions) defaults() {
+	if o.CGPFillerIters == 0 {
+		o.CGPFillerIters = 20
+	}
+}
+
+// FlowResult aggregates per-stage results of one full placement.
+type FlowResult struct {
+	MGP Result
+	MLG legalize.MLGResult
+	CGP Result
+	DP  detail.Result
+
+	// HPWL is the final half-perimeter wirelength.
+	HPWL float64
+	// Legal reports that the final standard-cell layout passed
+	// legalize.CheckLegal (and macros CheckMacrosLegal).
+	Legal bool
+	// MixedSize reports whether the mLG/cGP stages ran.
+	MixedSize bool
+
+	// Stage wall-clock times (Fig. 7): mIP, mGP, mLG, cGP, cDP.
+	StageTime map[string]time.Duration
+}
+
+// Place runs the complete ePlace flow on d: quadratic initial placement
+// (mIP), mixed-size global placement (mGP), annealing macro legalization
+// (mLG) and standard-cell re-placement (cGP) when movable macros exist,
+// then legalization plus detail placement (cDP). The design is modified
+// in place; fillers are inserted and removed internally.
+func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
+	opt.defaults()
+	res := FlowResult{StageTime: map[string]time.Duration{}}
+
+	movable := d.Movable()
+	stdCells := d.MovableOf(netlist.StdCell)
+	movMacros := d.MovableOf(netlist.Macro)
+	res.MixedSize = len(movMacros) > 0
+
+	// --- mIP: quadratic wirelength minimization over all movables. ---
+	t0 := time.Now()
+	qp.Place(d, movable, opt.MIP)
+	res.StageTime["mIP"] = time.Since(t0)
+
+	// --- mGP: co-place cells, macros and fillers. ---
+	t0 = time.Now()
+	var fillers []int
+	if !opt.GP.NoFillers {
+		fillers = InsertFillers(d, opt.GP.Seed+1)
+	}
+	gpIdx := append(append([]int(nil), movable...), fillers...)
+	if opt.MacroHalo > 0 {
+		inflateMacros(d, movMacros, opt.MacroHalo)
+	}
+	res.MGP = PlaceGlobal(d, gpIdx, opt.GP, "mGP", 0)
+	if opt.MacroHalo > 0 {
+		inflateMacros(d, movMacros, -opt.MacroHalo)
+	}
+	res.StageTime["mGP"] = time.Since(t0)
+	if res.MGP.Diverged {
+		return res, fmt.Errorf("core: mGP diverged")
+	}
+
+	if res.MixedSize {
+		// --- mLG: legalize and fix macros (std cells held). ---
+		t0 = time.Now()
+		mlgOpt := opt.MLG
+		if mlgOpt.Seed == 0 {
+			mlgOpt.Seed = opt.GP.Seed + 2
+		}
+		res.MLG = legalize.Macros(d, movMacros, mlgOpt)
+		res.StageTime["mLG"] = time.Since(t0)
+		if !res.MLG.Legal {
+			return res, fmt.Errorf("core: mLG left macro overlap %v", res.MLG.OmAfter)
+		}
+
+		// --- cGP: filler-only placement, then free the std cells. ---
+		t0 = time.Now()
+		if !opt.GP.DisableFillerPhase && len(fillers) > 0 {
+			// Standard cells are held in place during the filler-only
+			// iterations; they must contribute charge as fixed objects or
+			// the fillers would spread as if the cells did not exist.
+			for _, ci := range stdCells {
+				d.Cells[ci].Fixed = true
+			}
+			fOpt := opt.GP
+			fOpt.MaxIters = opt.CGPFillerIters
+			fOpt.MinIters = opt.CGPFillerIters
+			fOpt.TargetOverflow = 1e-9
+			fOpt.Trace = opt.GP.Trace
+			PlaceGlobal(d, fillers, fOpt, "cGP-filler", 1)
+			for _, ci := range stdCells {
+				d.Cells[ci].Fixed = false
+			}
+		}
+		// lambda_cGP = lambda_mGP_last * 1.1^-m, m = mGP iters / 10.
+		m := float64(res.MGP.Iterations) / 10
+		lambdaInit := res.MGP.FinalLambda * math.Pow(1.1, -m)
+		cgpIdx := append(append([]int(nil), stdCells...), fillers...)
+		res.CGP = PlaceGlobal(d, cgpIdx, opt.GP, "cGP", lambdaInit)
+		res.StageTime["cGP"] = time.Since(t0)
+		if res.CGP.Diverged {
+			return res, fmt.Errorf("core: cGP diverged")
+		}
+	}
+
+	// Fillers are placement aids only.
+	d.RemoveFillers()
+
+	if opt.SkipLegalization {
+		res.HPWL = d.HPWL()
+		return res, nil
+	}
+
+	// --- cDP: row legalization + discrete refinement. ---
+	t0 = time.Now()
+	if len(d.Rows) == 0 {
+		h := stdCellHeight(d)
+		if h <= 0 {
+			return res, fmt.Errorf("core: cannot infer row height")
+		}
+		legalize.BuildRows(d, h, 0)
+	}
+	if _, _, err := legalize.Cells(d, stdCells, opt.LegalizeMethod); err != nil {
+		return res, fmt.Errorf("core: legalization failed: %w", err)
+	}
+	if !opt.SkipDetail {
+		var err error
+		res.DP, err = detail.Place(d, stdCells, opt.Detail)
+		if err != nil {
+			return res, fmt.Errorf("core: detail placement failed: %w", err)
+		}
+	}
+	res.StageTime["cDP"] = time.Since(t0)
+
+	res.HPWL = d.HPWL()
+	res.Legal = legalize.CheckLegal(d, stdCells) == nil
+	if res.MixedSize && res.Legal {
+		res.Legal = legalize.CheckMacrosLegal(d, movMacros) == nil
+	}
+	return res, nil
+}
+
+// inflateMacros grows (halo > 0) or restores (halo < 0) the movable
+// macros' footprints by halo on every side, keeping centers fixed.
+func inflateMacros(d *netlist.Design, macros []int, halo float64) {
+	for _, mi := range macros {
+		c := &d.Cells[mi]
+		c.W += 2 * halo
+		c.H += 2 * halo
+	}
+}
+
+// stdCellHeight returns the dominant movable standard-cell height.
+func stdCellHeight(d *netlist.Design) float64 {
+	counts := map[float64]int{}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if !c.Fixed && c.Kind == netlist.StdCell {
+			counts[c.H]++
+		}
+	}
+	bestH, bestN := 0.0, 0
+	for h, n := range counts {
+		if n > bestN {
+			bestH, bestN = h, n
+		}
+	}
+	return bestH
+}

@@ -1,0 +1,157 @@
+// Package core implements the ePlace engine: the nonlinear objective
+// f(v) = W~(v) + lambda*N(v) of Eq. (4) over the eDensity model, solved
+// by Nesterov's method with Lipschitz steplength prediction, the
+// approximate preconditioner of Sec. V-D, filler cells, the iterative
+// gamma/lambda schedules, and the staged mixed-size flow
+// mIP -> mGP -> mLG -> cGP -> cDP of Fig. 1.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// SolverKind selects the nonlinear optimizer.
+type SolverKind uint8
+
+const (
+	// SolverNesterov is the paper's solver (Algorithms 1 and 2).
+	SolverNesterov SolverKind = iota
+	// SolverCG is conjugate gradient with line search: running the same
+	// eDensity objective under CG reproduces the FFTPL predecessor the
+	// paper compares against (footnote 2).
+	SolverCG
+)
+
+// Options configures a global placement run.
+type Options struct {
+	// GridM is the bin-grid size per side; 0 picks grid.ChooseM.
+	GridM int
+	// TargetOverflow is the stopping density overflow tau (default 0.10).
+	TargetOverflow float64
+	// MaxIters bounds the solver iterations (default 3000, as the paper).
+	MaxIters int
+	// MinIters prevents spurious early stops (default 20).
+	MinIters int
+	// Solver selects Nesterov (default) or the CG/FFTPL baseline.
+	Solver SolverKind
+
+	// DisableBkTrk turns off steplength backtracking (Sec. V-C ablation).
+	DisableBkTrk bool
+	// AdaptiveRestart enables momentum restarts in the Nesterov solver
+	// (an extension beyond the paper; see nesterov.Optimizer).
+	AdaptiveRestart bool
+	// DisablePrecond turns off the preconditioner (Sec. V-D ablation).
+	DisablePrecond bool
+	// DisableFillerPhase skips cGP's 20-iteration filler-only placement
+	// (Sec. VI-B ablation).
+	DisableFillerPhase bool
+	// NoFillers disables filler insertion entirely (diagnostic).
+	NoFillers bool
+
+	// LambdaInit overrides the automatic gradient-norm-balancing initial
+	// penalty factor when > 0.
+	LambdaInit float64
+	// RefDeltaHPWLFrac is the HPWL-change reference of the lambda
+	// schedule, as a fraction of the current HPWL (default 0.01;
+	// ePlace uses the absolute 3.5e5 on ~1e8 ISPD wirelengths).
+	RefDeltaHPWLFrac float64
+
+	// Seed drives filler placement and any tie-breaking (default 1).
+	Seed int64
+
+	// Trace, when non-nil, records one Sample per iteration.
+	Trace *Trace
+}
+
+func (o *Options) defaults() {
+	if o.TargetOverflow <= 0 {
+		o.TargetOverflow = 0.10
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 3000
+	}
+	if o.MinIters <= 0 {
+		o.MinIters = 20
+	}
+	if o.RefDeltaHPWLFrac <= 0 {
+		o.RefDeltaHPWLFrac = 0.01
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Result summarizes a global placement run.
+type Result struct {
+	Iterations int
+	HPWL       float64
+	Overflow   float64
+	// Diverged reports that the run was aborted and rolled back to the
+	// best snapshot (the failure mode of the Sec. V-C/V-D ablations).
+	Diverged bool
+	// Stagnated reports that overflow stopped improving long before the
+	// target (typically an infeasible density bound); the best snapshot
+	// was returned.
+	Stagnated bool
+	// Backtracks is the total BkTrk count (Nesterov only).
+	Backtracks int
+	// Timing breakdown (Fig. 7).
+	DensityTime    time.Duration
+	WirelengthTime time.Duration
+	OtherTime      time.Duration
+	Total          time.Duration
+	// CostEvals counts objective evaluations (CG line search only).
+	CostEvals int
+	// FinalLambda is the penalty factor at termination (used to seed cGP).
+	FinalLambda float64
+}
+
+// Sample is one iteration record for Figures 2 and 3.
+type Sample struct {
+	Stage      string
+	Iteration  int
+	HPWL       float64
+	Overflow   float64
+	Energy     float64
+	Lambda     float64
+	Gamma      float64
+	Alpha      float64
+	Backtracks int
+}
+
+// Trace accumulates per-iteration samples across stages.
+type Trace struct {
+	Samples []Sample
+}
+
+// Add appends a sample.
+func (t *Trace) Add(s Sample) { t.Samples = append(t.Samples, s) }
+
+// Stage returns the samples belonging to one stage label.
+func (t *Trace) Stage(name string) []Sample {
+	var out []Sample
+	for _, s := range t.Samples {
+		if s.Stage == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the trace as CSV (stage,iter,hpwl,tau,energy,lambda,
+// gamma,alpha,backtracks), the raw data behind Figure 2.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "stage,iter,hpwl,tau,energy,lambda,gamma,alpha,backtracks"); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.8g,%.6f,%.8g,%.8g,%.8g,%.8g,%d\n",
+			s.Stage, s.Iteration, s.HPWL, s.Overflow, s.Energy,
+			s.Lambda, s.Gamma, s.Alpha, s.Backtracks); err != nil {
+			return err
+		}
+	}
+	return nil
+}

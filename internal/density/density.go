@@ -1,0 +1,176 @@
+// Package density implements the eDensity electrostatic density model
+// of ePlace (Sec. IV): every object is a charge with electric quantity
+// q_i equal to its area, the density cost N(v) = sum_i q_i psi_i is the
+// total electric potential energy, and the density gradient on object i
+// is the electric force 2*q_i*xi_i obtained from the spectral Poisson
+// solution of Eq. (6). Fixed objects carry charge like everything else
+// ("generalized without special handling of fixed blocks").
+package density
+
+import (
+	"math"
+
+	"eplace/internal/grid"
+	"eplace/internal/netlist"
+	"eplace/internal/poisson"
+)
+
+// Model evaluates the density cost and gradient for one design.
+type Model struct {
+	Grid   *grid.Grid
+	Solver *poisson.Solver
+	d      *netlist.Design
+	rho    []float64
+	// binAreaInv normalizes charge to dimensionless bin density.
+	binAreaInv float64
+	energy     float64
+}
+
+// NewModel builds a density model over design d with an m x m grid
+// (m a power of two, e.g. grid.ChooseM). Fixed cells are rasterized
+// once; call Refresh whenever movable positions change.
+func NewModel(d *netlist.Design, m int) *Model {
+	g := grid.New(d.Region, m)
+	md := &Model{
+		Grid:       g,
+		Solver:     poisson.NewSolver(m),
+		d:          d,
+		rho:        make([]float64, m*m),
+		binAreaInv: 1 / g.BinArea(),
+	}
+	for _, ci := range d.FixedCells() {
+		g.AddFixed(d.Cells[ci].Rect())
+	}
+	return md
+}
+
+// Refresh re-rasterizes the movable cells listed in idx (fillers go to
+// the filler layer), solves the Poisson system and caches the total
+// energy. idx must cover every non-fixed cell that should carry charge.
+func (md *Model) Refresh(idx []int) {
+	md.Grid.ClearMovable()
+	for _, ci := range idx {
+		c := &md.d.Cells[ci]
+		if c.Kind == netlist.Filler {
+			md.Grid.AddFiller(c.X, c.Y, c.W, c.H)
+		} else {
+			md.Grid.AddMovable(c.X, c.Y, c.W, c.H)
+		}
+	}
+	md.Grid.Charge(md.rho)
+	for b := range md.rho {
+		md.rho[b] *= md.binAreaInv
+	}
+	md.Solver.Solve(md.rho)
+	md.energy = md.Solver.Energy(md.rho)
+}
+
+// Energy returns N(v) for the last Refresh.
+func (md *Model) Energy() float64 { return md.energy }
+
+// Overflow returns the density overflow tau against rhoT for the last
+// Refresh (movable cells only; fillers excluded).
+func (md *Model) Overflow(rhoT float64) float64 { return md.Grid.Overflow(rhoT) }
+
+// Gradient writes dN/dx and dN/dy for each cell in idx into grad, laid
+// out {x_1..x_n, y_1..y_n} like netlist.Positions. The gradient is the
+// negated electric force: descending it moves charge away from density
+// peaks. Footprints use the same local smoothing as rasterization so
+// the gradient is consistent with the energy.
+func (md *Model) Gradient(idx []int, grad []float64) {
+	n := len(idx)
+	if len(grad) != 2*n {
+		panic("density: gradient buffer size mismatch")
+	}
+	g := md.Grid
+	for k, ci := range idx {
+		c := &md.d.Cells[ci]
+		fx, fy := md.forceOn(c)
+		// Convert grid-coordinate field to design units and negate the
+		// force (Eq. 8: dN/dx_i = 2 q_i xi_ix, pointing uphill).
+		grad[k] = -2 * fx / g.BinW
+		grad[k+n] = -2 * fy / g.BinH
+	}
+}
+
+// forceOn integrates charge-density * field over the smoothed footprint
+// of cell c, returning the force components in grid units.
+func (md *Model) forceOn(c *netlist.Cell) (fx, fy float64) {
+	g := md.Grid
+	m := g.M
+	r, scale := smoothedRect(g, c)
+	i0 := int(math.Floor((r.Lx - g.Region.Lx) / g.BinW))
+	i1 := int(math.Ceil((r.Hx - g.Region.Lx) / g.BinW))
+	j0 := int(math.Floor((r.Ly - g.Region.Ly) / g.BinH))
+	j1 := int(math.Ceil((r.Hy - g.Region.Ly) / g.BinH))
+	if i0 < 0 {
+		i0 = 0
+	}
+	if j0 < 0 {
+		j0 = 0
+	}
+	if i1 > m {
+		i1 = m
+	}
+	if j1 > m {
+		j1 = m
+	}
+	chargeScale := scale * md.binAreaInv
+	for j := j0; j < j1; j++ {
+		by0 := g.Region.Ly + float64(j)*g.BinH
+		oy := math.Min(r.Hy, by0+g.BinH) - math.Max(r.Ly, by0)
+		if oy <= 0 {
+			continue
+		}
+		row := j * m
+		for i := i0; i < i1; i++ {
+			bx0 := g.Region.Lx + float64(i)*g.BinW
+			ox := math.Min(r.Hx, bx0+g.BinW) - math.Max(r.Lx, bx0)
+			if ox <= 0 {
+				continue
+			}
+			q := ox * oy * chargeScale
+			fx += q * md.Solver.Ex[row+i]
+			fy += q * md.Solver.Ey[row+i]
+		}
+	}
+	return fx, fy
+}
+
+// smoothedRect mirrors grid's local smoothing: sub-bin objects inflate
+// to sqrt(2) bins with charge preserved, clamped inside the region.
+func smoothedRect(g *grid.Grid, c *netlist.Cell) (r rectT, scale float64) {
+	const inflate = math.Sqrt2
+	ew, eh := c.W, c.H
+	scale = 1.0
+	if minW := inflate * g.BinW; ew < minW {
+		scale *= ew / minW
+		ew = minW
+	}
+	if minH := inflate * g.BinH; eh < minH {
+		scale *= eh / minH
+		eh = minH
+	}
+	lx := c.X - ew/2
+	ly := c.Y - eh/2
+	hx := c.X + ew/2
+	hy := c.Y + eh/2
+	// Clamp inside region (translate).
+	if lx < g.Region.Lx {
+		hx += g.Region.Lx - lx
+		lx = g.Region.Lx
+	} else if hx > g.Region.Hx {
+		lx -= hx - g.Region.Hx
+		hx = g.Region.Hx
+	}
+	if ly < g.Region.Ly {
+		hy += g.Region.Ly - ly
+		ly = g.Region.Ly
+	} else if hy > g.Region.Hy {
+		ly -= hy - g.Region.Hy
+		hy = g.Region.Hy
+	}
+	return rectT{lx, ly, hx, hy}, scale
+}
+
+type rectT struct{ Lx, Ly, Hx, Hy float64 }

@@ -1,0 +1,435 @@
+// Package detail implements the discrete refinement of the cDP stage
+// (the paper invokes NTUplace3's detail placer [4]; this is a
+// functional reimplementation): legality-preserving global swaps toward
+// each cell's optimal region, local reordering windows, and relocation
+// into whitespace. Cells are managed per obstacle-free row segment
+// (from legalize.FreeSegments), so wide macros and pads can never be
+// stepped on. Every operation keeps the layout legal and is accepted
+// only when it shortens HPWL.
+package detail
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eplace/internal/legalize"
+	"eplace/internal/netlist"
+)
+
+// Options tunes detail placement.
+type Options struct {
+	// Passes bounds the improvement sweeps (default 3).
+	Passes int
+	// Window is the local reordering window size (default 3).
+	Window int
+	// SwapCandidates bounds how many neighbors are tried per global
+	// swap (default 8).
+	SwapCandidates int
+	// ISMSetSize bounds independent-set matching groups (default 6;
+	// the assignment solve is cubic in this).
+	ISMSetSize int
+	// DisableISM turns off independent-set matching.
+	DisableISM bool
+}
+
+func (o *Options) defaults() {
+	if o.Passes <= 0 {
+		o.Passes = 3
+	}
+	if o.Window <= 0 {
+		o.Window = 3
+	}
+	if o.SwapCandidates <= 0 {
+		o.SwapCandidates = 8
+	}
+	if o.ISMSetSize <= 0 {
+		o.ISMSetSize = 6
+	}
+}
+
+// Result reports a detail placement run.
+type Result struct {
+	Passes     int
+	Swaps      int
+	Reorders   int
+	Relocates  int
+	ISMRounds  int
+	HPWLBefore float64
+	HPWLAfter  float64
+}
+
+// segCells is one obstacle-free row interval and its cells in x order.
+type segCells struct {
+	lx, hx float64
+	cells  []int
+}
+
+// placer holds segment-ordered occupancy over legalized cells.
+type placer struct {
+	d     *netlist.Design
+	opt   Options
+	segs  []*segCells
+	segOf map[int]int // movable cell -> index into segs
+}
+
+// Place refines the legalized standard cells in cells. The layout must
+// be legal on entry (legalize.CheckLegal passes); it stays legal.
+func Place(d *netlist.Design, cells []int, opt Options) (Result, error) {
+	opt.defaults()
+	res := Result{HPWLBefore: d.HPWL()}
+	p := &placer{d: d, opt: opt, segOf: map[int]int{}}
+	if err := p.buildSegments(cells); err != nil {
+		return res, err
+	}
+	for pass := 0; pass < opt.Passes; pass++ {
+		res.Passes = pass + 1
+		improved := 0
+		improved += p.reorderPass(&res)
+		improved += p.swapPass(cells, &res)
+		if !opt.DisableISM {
+			improved += p.ismPass(cells, &res)
+		}
+		improved += p.relocatePass(&res)
+		if improved == 0 {
+			break
+		}
+	}
+	res.HPWLAfter = d.HPWL()
+	return res, nil
+}
+
+// buildSegments assigns every movable cell to its free row segment.
+func (p *placer) buildSegments(cells []int) error {
+	d := p.d
+	if len(d.Rows) == 0 {
+		return fmt.Errorf("detail: design has no rows")
+	}
+	free := legalize.FreeSegments(d)
+	// Row lookup by bottom y.
+	byY := map[float64]int{}
+	for ri, r := range d.Rows {
+		byY[round6(r.Y)] = ri
+	}
+	// Build segment objects with row-major ordering.
+	segStart := make([]int, len(d.Rows)) // first seg index per row
+	for ri := range free {
+		segStart[ri] = len(p.segs)
+		for _, s := range free[ri] {
+			p.segs = append(p.segs, &segCells{lx: s.Lx, hx: s.Hx})
+		}
+	}
+	for _, ci := range cells {
+		c := &d.Cells[ci]
+		ri, ok := byY[round6(c.Y-c.H/2)]
+		if !ok {
+			return fmt.Errorf("detail: cell %d not row-aligned (y=%v)", ci, c.Y-c.H/2)
+		}
+		// Find the segment containing the cell.
+		found := -1
+		for si := segStart[ri]; si < len(p.segs); si++ {
+			if si >= segStart[ri]+len(free[ri]) {
+				break
+			}
+			s := p.segs[si]
+			if c.X-c.W/2 >= s.lx-1e-6 && c.X+c.W/2 <= s.hx+1e-6 {
+				found = si
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("detail: cell %d (%s) not inside a free segment", ci, c.Name)
+		}
+		p.segs[found].cells = append(p.segs[found].cells, ci)
+		p.segOf[ci] = found
+	}
+	for _, s := range p.segs {
+		sort.Slice(s.cells, func(a, b int) bool {
+			return d.Cells[s.cells[a]].X < d.Cells[s.cells[b]].X
+		})
+	}
+	return nil
+}
+
+// gap returns the free interval available to the cell at s.cells[k].
+func (p *placer) gap(s *segCells, k int) (lo, hi float64) {
+	d := p.d
+	lo, hi = s.lx, s.hx
+	if k > 0 {
+		c := &d.Cells[s.cells[k-1]]
+		lo = math.Max(lo, c.X+c.W/2)
+	}
+	if k+1 < len(s.cells) {
+		c := &d.Cells[s.cells[k+1]]
+		hi = math.Min(hi, c.X-c.W/2)
+	}
+	return lo, hi
+}
+
+// netsOf returns the distinct nets touching the given cells.
+func (p *placer) netsOf(cells ...int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, ci := range cells {
+		for _, pi := range p.d.Cells[ci].Pins {
+			ni := p.d.Pins[pi].Net
+			if !seen[ni] {
+				seen[ni] = true
+				out = append(out, ni)
+			}
+		}
+	}
+	return out
+}
+
+// hpwlOf sums current HPWL over the given nets.
+func (p *placer) hpwlOf(nets []int) float64 {
+	s := 0.0
+	for _, ni := range nets {
+		s += p.d.NetHPWL(ni)
+	}
+	return s
+}
+
+// optimalX returns the x median of the other pins of the cell's nets:
+// the center of its optimal region.
+func (p *placer) optimalX(ci int) float64 {
+	var xs []float64
+	d := p.d
+	for _, pi := range d.Cells[ci].Pins {
+		net := &d.Nets[d.Pins[pi].Net]
+		for _, qi := range net.Pins {
+			if d.Pins[qi].Cell == ci {
+				continue
+			}
+			xs = append(xs, d.PinPos(qi).X)
+		}
+	}
+	if len(xs) == 0 {
+		return d.Cells[ci].X
+	}
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// relocatePass slides each cell within its own gap toward its optimal
+// x, accepting when HPWL improves.
+func (p *placer) relocatePass(res *Result) int {
+	improved := 0
+	d := p.d
+	for _, s := range p.segs {
+		for k, ci := range s.cells {
+			c := &d.Cells[ci]
+			lo, hi := p.gap(s, k)
+			if hi-lo < c.W-1e-12 {
+				continue
+			}
+			target := p.optimalX(ci)
+			nx := math.Max(lo+c.W/2, math.Min(hi-c.W/2, target))
+			if math.Abs(nx-c.X) < 1e-12 {
+				continue
+			}
+			nets := p.netsOf(ci)
+			before := p.hpwlOf(nets)
+			oldX := c.X
+			c.X = nx
+			if p.hpwlOf(nets) < before-1e-12 {
+				improved++
+				res.Relocates++
+			} else {
+				c.X = oldX
+			}
+		}
+	}
+	return improved
+}
+
+// swapPass tries exchanging each cell with cells of its segment nearest
+// its optimal x.
+func (p *placer) swapPass(cells []int, res *Result) int {
+	improved := 0
+	d := p.d
+	for _, ci := range cells {
+		si, ok := p.segOf[ci]
+		if !ok {
+			continue
+		}
+		s := p.segs[si]
+		k := indexOf(s.cells, ci)
+		if k < 0 {
+			continue
+		}
+		target := p.optimalX(ci)
+		lo := sort.Search(len(s.cells), func(i int) bool { return d.Cells[s.cells[i]].X >= target })
+		tried := 0
+		for off := 0; off < len(s.cells) && tried < p.opt.SwapCandidates; off++ {
+			advanced := false
+			for _, j := range []int{lo + off, lo - off - 1} {
+				if j < 0 || j >= len(s.cells) || s.cells[j] == ci || tried >= p.opt.SwapCandidates {
+					continue
+				}
+				advanced = true
+				tried++
+				if p.trySwap(s, k, j) {
+					improved++
+					res.Swaps++
+					k = indexOf(s.cells, ci)
+					break
+				}
+			}
+			if !advanced && off > len(s.cells) {
+				break
+			}
+		}
+	}
+	return improved
+}
+
+// trySwap exchanges the cells at positions ka and kb of segment s when
+// both fit in each other's gaps and HPWL improves.
+func (p *placer) trySwap(s *segCells, ka, kb int) bool {
+	if ka == kb {
+		return false
+	}
+	d := p.d
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	a, b := s.cells[ka], s.cells[kb]
+	ca, cb := &d.Cells[a], &d.Cells[b]
+	loA, hiA := p.gap(s, ka)
+	loB, hiB := p.gap(s, kb)
+	if kb == ka+1 {
+		// Adjacent: joint interval.
+		lo, hi := loA, hiB
+		if cb.W+ca.W > hi-lo+1e-12 {
+			return false
+		}
+		nets := p.netsOf(a, b)
+		before := p.hpwlOf(nets)
+		oldAX, oldBX := ca.X, cb.X
+		cb.X = lo + cb.W/2
+		ca.X = lo + cb.W + ca.W/2
+		if p.hpwlOf(nets) < before-1e-12 {
+			s.cells[ka], s.cells[kb] = b, a
+			return true
+		}
+		ca.X, cb.X = oldAX, oldBX
+		return false
+	}
+	if cb.W > hiA-loA+1e-12 || ca.W > hiB-loB+1e-12 {
+		return false
+	}
+	nets := p.netsOf(a, b)
+	before := p.hpwlOf(nets)
+	oldAX, oldBX := ca.X, cb.X
+	ca.X = math.Max(loB+ca.W/2, math.Min(hiB-ca.W/2, oldBX))
+	cb.X = math.Max(loA+cb.W/2, math.Min(hiA-cb.W/2, oldAX))
+	if p.hpwlOf(nets) < before-1e-12 {
+		s.cells[ka], s.cells[kb] = b, a
+		return true
+	}
+	ca.X, cb.X = oldAX, oldBX
+	return false
+}
+
+// reorderPass permutes cells inside sliding windows of each segment.
+func (p *placer) reorderPass(res *Result) int {
+	improved := 0
+	w := p.opt.Window
+	for _, s := range p.segs {
+		for start := 0; start+w <= len(s.cells); start++ {
+			if p.tryReorder(s, start, w) {
+				improved++
+				res.Reorders++
+			}
+		}
+	}
+	return improved
+}
+
+// tryReorder tests all permutations of the w cells starting at position
+// start of segment s, packing each permutation from the window's left
+// boundary, and keeps the best.
+func (p *placer) tryReorder(s *segCells, start, w int) bool {
+	d := p.d
+	win := make([]int, w)
+	copy(win, s.cells[start:start+w])
+	lo, _ := p.gap(s, start)
+	_, hi := p.gap(s, start+w-1)
+	totalW := 0.0
+	for _, ci := range win {
+		totalW += d.Cells[ci].W
+	}
+	if totalW > hi-lo+1e-12 {
+		return false
+	}
+	nets := p.netsOf(win...)
+	oldX := make([]float64, w)
+	for i, ci := range win {
+		oldX[i] = d.Cells[ci].X
+	}
+	bestCost := p.hpwlOf(nets)
+	baseCost := bestCost
+	bestPerm := -1
+	perms := permutations(w)
+	var bestXs []float64
+	for pi, perm := range perms {
+		x := lo
+		for _, idx := range perm {
+			c := &d.Cells[win[idx]]
+			c.X = x + c.W/2
+			x += c.W
+		}
+		if cost := p.hpwlOf(nets); cost < bestCost-1e-12 {
+			bestCost = cost
+			bestPerm = pi
+			bestXs = bestXs[:0]
+			for _, idx := range perm {
+				bestXs = append(bestXs, d.Cells[win[idx]].X)
+			}
+		}
+	}
+	if bestPerm < 0 || bestCost >= baseCost-1e-12 {
+		for i, ci := range win {
+			d.Cells[ci].X = oldX[i]
+		}
+		return false
+	}
+	perm := perms[bestPerm]
+	for i, idx := range perm {
+		d.Cells[win[idx]].X = bestXs[i]
+		s.cells[start+i] = win[idx]
+	}
+	return true
+}
+
+// permutations returns all permutations of 0..n-1 (n small).
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	sub := permutations(n - 1)
+	var out [][]int
+	for _, s := range sub {
+		for pos := 0; pos <= len(s); pos++ {
+			p := make([]int, 0, n)
+			p = append(p, s[:pos]...)
+			p = append(p, n-1)
+			p = append(p, s[pos:]...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func indexOf(list []int, ci int) int {
+	for i, v := range list {
+		if v == ci {
+			return i
+		}
+	}
+	return -1
+}
+
+func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }

@@ -1,0 +1,226 @@
+package detail
+
+import (
+	"math"
+	"sort"
+)
+
+// ismPass runs independent-set matching (the NTUplace3 cDP technique):
+// groups of equal-width cells that share no nets have interchangeable
+// slots, so their joint reassignment is an assignment problem solved
+// exactly by the Hungarian method. Groups are gathered per width from
+// nearby segments; each solved group is applied only when it improves
+// HPWL (the optimum of the matching, so it never regresses).
+func (p *placer) ismPass(cells []int, res *Result) int {
+	d := p.d
+	// Bucket movable cells by width.
+	byWidth := map[float64][]int{}
+	for _, ci := range cells {
+		if _, ok := p.segOf[ci]; !ok {
+			continue
+		}
+		byWidth[d.Cells[ci].W] = append(byWidth[d.Cells[ci].W], ci)
+	}
+	improved := 0
+	for _, group := range byWidth {
+		if len(group) < 2 {
+			continue
+		}
+		// Deterministic processing order: by x position.
+		sort.Slice(group, func(a, b int) bool {
+			if d.Cells[group[a]].X != d.Cells[group[b]].X {
+				return d.Cells[group[a]].X < d.Cells[group[b]].X
+			}
+			return group[a] < group[b]
+		})
+		// Sliding windows over the bucket; within each window select an
+		// independent subset (no shared nets).
+		const window = 12
+		for start := 0; start < len(group); start += window / 2 {
+			end := start + window
+			if end > len(group) {
+				end = len(group)
+			}
+			set := independentSubset(p, group[start:end], p.opt.ISMSetSize)
+			if len(set) >= 2 {
+				if p.solveISM(set) {
+					improved++
+					res.ISMRounds++
+				}
+			}
+			if end == len(group) {
+				break
+			}
+		}
+	}
+	return improved
+}
+
+// independentSubset greedily picks cells sharing no nets.
+func independentSubset(p *placer, candidates []int, maxSize int) []int {
+	if maxSize <= 0 {
+		maxSize = 6
+	}
+	used := map[int]bool{}
+	var out []int
+	for _, ci := range candidates {
+		ok := true
+		for _, pi := range p.d.Cells[ci].Pins {
+			if used[p.d.Pins[pi].Net] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, ci)
+		for _, pi := range p.d.Cells[ci].Pins {
+			used[p.d.Pins[pi].Net] = true
+		}
+		if len(out) >= maxSize {
+			break
+		}
+	}
+	return out
+}
+
+// solveISM builds the cost matrix over the set's slots and applies the
+// optimal assignment when it strictly improves total HPWL.
+func (p *placer) solveISM(set []int) bool {
+	d := p.d
+	n := len(set)
+	// Slots: the cells' current positions (x, y); widths are equal so
+	// any permutation stays legal.
+	type slot struct{ x, y float64 }
+	slots := make([]slot, n)
+	for k, ci := range set {
+		slots[k] = slot{d.Cells[ci].X, d.Cells[ci].Y}
+	}
+	// Cost matrix: HPWL of cell i's nets with the cell at slot j. The
+	// set's independence makes per-cell costs separable and exact.
+	cost := make([][]float64, n)
+	base := 0.0
+	for i, ci := range set {
+		cost[i] = make([]float64, n)
+		nets := p.netsOf(ci)
+		ox, oy := d.Cells[ci].X, d.Cells[ci].Y
+		base += p.hpwlOf(nets)
+		for j := range slots {
+			d.Cells[ci].X, d.Cells[ci].Y = slots[j].x, slots[j].y
+			cost[i][j] = p.hpwlOf(nets)
+		}
+		d.Cells[ci].X, d.Cells[ci].Y = ox, oy
+	}
+	assign := hungarian(cost)
+	total := 0.0
+	for i, j := range assign {
+		total += cost[i][j]
+	}
+	if total >= base-1e-9 {
+		return false
+	}
+	// Apply: move cells and swap their slot bookkeeping. Because slots
+	// are exactly the set's old positions, segments and ordering update
+	// by re-sorting the affected segment lists.
+	touched := map[int]bool{}
+	oldSeg := map[float64]int{} // slot x -> original segment (by position)
+	for k, ci := range set {
+		oldSeg[slots[k].x+1e7*slots[k].y] = p.segOf[ci]
+	}
+	for i, j := range assign {
+		ci := set[i]
+		d.Cells[ci].X, d.Cells[ci].Y = slots[j].x, slots[j].y
+		newSeg := oldSeg[slots[j].x+1e7*slots[j].y]
+		if p.segOf[ci] != newSeg {
+			// Remove from old segment list, add to the new one.
+			old := p.segs[p.segOf[ci]]
+			old.cells = removeOne(old.cells, ci)
+			p.segs[newSeg].cells = append(p.segs[newSeg].cells, ci)
+			p.segOf[ci] = newSeg
+			touched[newSeg] = true
+		}
+		touched[p.segOf[ci]] = true
+	}
+	for si := range touched {
+		s := p.segs[si]
+		sort.Slice(s.cells, func(a, b int) bool {
+			return d.Cells[s.cells[a]].X < d.Cells[s.cells[b]].X
+		})
+	}
+	return true
+}
+
+func removeOne(list []int, v int) []int {
+	for i, x := range list {
+		if x == v {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// hungarian solves the square assignment problem, returning for each
+// row the assigned column with minimal total cost (Jonker-style O(n^3)
+// shortest augmenting path formulation).
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	// Potentials and matching, 1-indexed internally.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	pcol := make([]int, n+1) // pcol[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		pcol[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := pcol[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[pcol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if pcol[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			pcol[j0] = pcol[j1]
+			j0 = j1
+		}
+	}
+	out := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if pcol[j] > 0 {
+			out[pcol[j]-1] = j - 1
+		}
+	}
+	return out
+}

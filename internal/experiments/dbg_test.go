@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"eplace/internal/baseline/mincut"
+	"eplace/internal/detail"
+	"eplace/internal/legalize"
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+)
+
+func TestDebugMinCutMMS(t *testing.T) {
+	spec := synth.Spec{Name: "harness-mms", NumCells: 300, NumMovableMacros: 3}
+	d := synth.Generate(spec)
+	movable := d.Movable()
+	mincut.Place(d, movable, mincut.Options{})
+	macros := d.MovableOf(netlist.Macro)
+	legalize.Macros(d, macros, legalize.MLGOptions{})
+	std := d.MovableOf(netlist.StdCell)
+	if _, _, err := legalize.Cells(d, std, legalize.Abacus); err != nil {
+		fmt.Println("legalize err:", err)
+		return
+	}
+	if e := legalize.CheckLegal(d, std); e != nil {
+		fmt.Println("violation pre-detail:", e)
+	}
+	if _, err := detail.Place(d, std, detail.Options{}); err != nil {
+		fmt.Println("detail err:", err)
+	}
+	if e := legalize.CheckLegal(d, std); e != nil {
+		fmt.Println("violation post-detail:", e)
+	}
+}

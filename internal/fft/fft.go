@@ -1,0 +1,237 @@
+// Package fft implements the spectral transforms used by the Poisson
+// solver: an iterative radix-2 complex FFT plus the real cosine/sine
+// transforms (DCT-II, inverse DCT, inverse DST) that expand and
+// reconstruct grids in the Neumann cosine basis
+//
+//	f(x) = sum_u a_u cos(w_u (x + 1/2)),  w_u = pi*u/n.
+//
+// All transforms are unnormalized sums; callers apply scaling. Sizes
+// must be powers of two, which the bin grid guarantees.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan holds precomputed twiddle factors and the bit-reversal
+// permutation for complex FFTs of one size. A Plan is cheap to reuse
+// and safe for concurrent Forward/Inverse calls on distinct buffers.
+type Plan struct {
+	n       int
+	logn    int
+	rev     []int
+	twiddle []complex128 // twiddle[k] = exp(-2*pi*i*k/n), k < n/2
+}
+
+// NewPlan creates a plan for complex FFTs of length n (a power of two).
+func NewPlan(n int) *Plan {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: size %d is not a positive power of two", n))
+	}
+	p := &Plan{n: n, logn: bits.TrailingZeros(uint(n))}
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - p.logn))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = cmplx.Exp(complex(0, ang))
+	}
+	return p
+}
+
+// N returns the transform length.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the in-place forward DFT
+//
+//	X_k = sum_j x_j exp(-2*pi*i*j*k/n).
+func (p *Plan) Forward(x []complex128) { p.transform(x, false) }
+
+// Inverse computes the in-place unnormalized inverse DFT
+//
+//	x_j = sum_k X_k exp(+2*pi*i*j*k/n)
+//
+// (no 1/n factor; callers scale as needed).
+func (p *Plan) Inverse(x []complex128) { p.transform(x, true) }
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: buffer length %d, plan size %d", len(x), p.n))
+	}
+	// Bit-reversal permutation.
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			ti := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[ti]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				u := x[k]
+				v := x[k+half] * w
+				x[k] = u + v
+				x[k+half] = u - v
+				ti += step
+			}
+		}
+	}
+}
+
+// Real implements the three real transforms on length-n vectors via one
+// shared length-2n complex FFT. Not safe for concurrent use; create one
+// Real per goroutine (they share nothing mutable after construction
+// except the scratch buffer).
+type Real struct {
+	n       int
+	plan    *Plan
+	scratch []complex128
+	// shift[u] = exp(+i*pi*u/(2n)) used by the inverse transforms,
+	// and its conjugate by the forward transform.
+	shift []complex128
+}
+
+// NewReal creates real-transform workspace for vectors of length n
+// (a power of two).
+func NewReal(n int) *Real {
+	r := &Real{n: n, plan: NewPlan(2 * n)}
+	r.scratch = make([]complex128, 2*n)
+	r.shift = make([]complex128, n)
+	for u := 0; u < n; u++ {
+		ang := math.Pi * float64(u) / float64(2*n)
+		r.shift[u] = cmplx.Exp(complex(0, ang))
+	}
+	return r
+}
+
+// N returns the vector length.
+func (r *Real) N() int { return r.n }
+
+// DCT2 computes the unnormalized forward DCT-II
+//
+//	out_u = sum_i x_i cos(pi*u*(2i+1)/(2n)).
+func (r *Real) DCT2(x, out []float64) {
+	r.check(x, out)
+	for i := 0; i < r.n; i++ {
+		r.scratch[i] = complex(x[i], 0)
+	}
+	for i := r.n; i < 2*r.n; i++ {
+		r.scratch[i] = 0
+	}
+	r.plan.Forward(r.scratch)
+	for u := 0; u < r.n; u++ {
+		// cos term = Re(conj(shift)*F_u).
+		s := r.shift[u]
+		f := r.scratch[u]
+		out[u] = real(f)*real(s) + imag(f)*imag(s)
+	}
+}
+
+// IDCT computes the cosine reconstruction
+//
+//	out_i = sum_u a_u cos(pi*u*(2i+1)/(2n)).
+//
+// Note a_0 is weighted fully (not halved as in the classical DCT-III).
+func (r *Real) IDCT(a, out []float64) {
+	r.check(a, out)
+	r.inverseBoth(a)
+	for i := 0; i < r.n; i++ {
+		out[i] = real(r.scratch[i])
+	}
+}
+
+// IDST computes the sine reconstruction
+//
+//	out_i = sum_u a_u sin(pi*u*(2i+1)/(2n)).
+//
+// The u = 0 term contributes nothing regardless of a_0.
+func (r *Real) IDST(a, out []float64) {
+	r.check(a, out)
+	r.inverseBoth(a)
+	for i := 0; i < r.n; i++ {
+		out[i] = imag(r.scratch[i])
+	}
+}
+
+// IDCTAndIDST computes both reconstructions of the same coefficients
+// with a single FFT: outC_i = sum a_u cos(...), outS_i = sum a_u sin(...).
+func (r *Real) IDCTAndIDST(a, outC, outS []float64) {
+	r.check(a, outC)
+	r.check(a, outS)
+	r.inverseBoth(a)
+	for i := 0; i < r.n; i++ {
+		outC[i] = real(r.scratch[i])
+		outS[i] = imag(r.scratch[i])
+	}
+}
+
+// inverseBoth leaves sum_u a_u exp(+i*pi*u*(2i+1)/(2n)) in scratch[:n].
+func (r *Real) inverseBoth(a []float64) {
+	for u := 0; u < r.n; u++ {
+		r.scratch[u] = complex(a[u], 0) * r.shift[u]
+	}
+	for u := r.n; u < 2*r.n; u++ {
+		r.scratch[u] = 0
+	}
+	r.plan.Inverse(r.scratch)
+}
+
+func (r *Real) check(in, out []float64) {
+	if len(in) != r.n || len(out) != r.n {
+		panic(fmt.Sprintf("fft: vector length %d/%d, workspace size %d", len(in), len(out), r.n))
+	}
+}
+
+// NaiveDCT2 is the O(n^2) reference for DCT2, used in tests.
+func NaiveDCT2(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for u := 0; u < n; u++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += x[i] * math.Cos(math.Pi*float64(u)*float64(2*i+1)/float64(2*n))
+		}
+		out[u] = s
+	}
+	return out
+}
+
+// NaiveIDCT is the O(n^2) reference for IDCT, used in tests.
+func NaiveIDCT(a []float64) []float64 {
+	n := len(a)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for u := 0; u < n; u++ {
+			s += a[u] * math.Cos(math.Pi*float64(u)*float64(2*i+1)/float64(2*n))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// NaiveIDST is the O(n^2) reference for IDST, used in tests.
+func NaiveIDST(a []float64) []float64 {
+	n := len(a)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for u := 0; u < n; u++ {
+			s += a[u] * math.Sin(math.Pi*float64(u)*float64(2*i+1)/float64(2*n))
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(j) * float64(k) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPlan(%d) did not panic", n)
+				}
+			}()
+			NewPlan(n)
+		}()
+	}
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 128} {
+		p := NewPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x, false)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		for k := range got {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d k=%d got %v want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestInverseMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 32
+	p := NewPlan(n)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := naiveDFT(x, true)
+	got := append([]complex128(nil), x...)
+	p.Inverse(got)
+	for k := range got {
+		if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+			t.Fatalf("k=%d got %v want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 32, 256, 1024} {
+		p := NewPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		for i := range y {
+			if cmplx.Abs(y[i]/complex(float64(n), 0)-x[i]) > 1e-10*float64(n) {
+				t.Fatalf("n=%d i=%d round trip %v vs %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestParsevalEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 128
+	p := NewPlan(n)
+	x := make([]complex128, n)
+	timeE := 0.0
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		timeE += real(x[i]) * real(x[i])
+	}
+	p.Forward(x)
+	freqE := 0.0
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-8*timeE {
+		t.Errorf("Parseval: time %v freq/n %v", timeE, freqE/float64(n))
+	}
+}
+
+func TestDCT2MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		r := NewReal(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		r.DCT2(x, got)
+		want := NaiveDCT2(x)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d DCT2 max diff %v", n, d)
+		}
+	}
+}
+
+func TestIDCTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{2, 16, 128} {
+		r := NewReal(n)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		r.IDCT(a, got)
+		want := NaiveIDCT(a)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d IDCT max diff %v", n, d)
+		}
+	}
+}
+
+func TestIDSTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 16, 128} {
+		r := NewReal(n)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		r.IDST(a, got)
+		want := NaiveIDST(a)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d IDST max diff %v", n, d)
+		}
+	}
+}
+
+func TestIDCTAndIDSTConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 64
+	r := NewReal(n)
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	c1 := make([]float64, n)
+	s1 := make([]float64, n)
+	r.IDCTAndIDST(a, c1, s1)
+	c2 := make([]float64, n)
+	s2 := make([]float64, n)
+	r.IDCT(a, c2)
+	r.IDST(a, s2)
+	if maxAbsDiff(c1, c2) > 1e-12 || maxAbsDiff(s1, s2) > 1e-12 {
+		t.Error("combined transform disagrees with separate calls")
+	}
+}
+
+// Property: DCT2 followed by IDCT with the standard normalization
+// recovers the input: x_i = (2/n) * sum_u s_u X_u cos(...), s_0 = 1/2.
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{2, 8, 64, 512} {
+		r := NewReal(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		coef := make([]float64, n)
+		r.DCT2(x, coef)
+		for u := range coef {
+			coef[u] *= 2 / float64(n)
+		}
+		coef[0] /= 2
+		back := make([]float64, n)
+		r.IDCT(coef, back)
+		if d := maxAbsDiff(back, x); d > 1e-8 {
+			t.Fatalf("n=%d DCT round trip max diff %v", n, d)
+		}
+	}
+}
+
+// Property: the reconstruction of a pure cosine mode is exact.
+func TestSingleModeReconstruction(t *testing.T) {
+	n := 32
+	r := NewReal(n)
+	for u := 0; u < n; u += 5 {
+		a := make([]float64, n)
+		a[u] = 1
+		got := make([]float64, n)
+		r.IDCT(a, got)
+		for i := 0; i < n; i++ {
+			want := math.Cos(math.Pi * float64(u) * float64(2*i+1) / float64(2*n))
+			if math.Abs(got[i]-want) > 1e-10 {
+				t.Fatalf("mode u=%d sample i=%d: got %v want %v", u, i, got[i], want)
+			}
+		}
+	}
+}
+
+// Property: IDST of the u=0 mode is identically zero.
+func TestIDSTZeroMode(t *testing.T) {
+	n := 16
+	r := NewReal(n)
+	a := make([]float64, n)
+	a[0] = 123.456
+	out := make([]float64, n)
+	r.IDST(a, out)
+	for i, v := range out {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("IDST zero mode leaked at %d: %v", i, v)
+		}
+	}
+}
+
+// Property: transforms are linear.
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 64
+	r := NewReal(n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	sum := make([]float64, n)
+	for i := range sum {
+		sum[i] = 2*a[i] - 3*b[i]
+	}
+	ta := make([]float64, n)
+	tb := make([]float64, n)
+	ts := make([]float64, n)
+	r.DCT2(a, ta)
+	r.DCT2(b, tb)
+	r.DCT2(sum, ts)
+	for i := range ts {
+		if math.Abs(ts[i]-(2*ta[i]-3*tb[i])) > 1e-8 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	p := NewPlan(1024)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i%7), float64(i%3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkDCT2_512(b *testing.B) {
+	r := NewReal(512)
+	x := make([]float64, 512)
+	out := make([]float64, 512)
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.DCT2(x, out)
+	}
+}

@@ -1,0 +1,290 @@
+// Package grid implements the uniform bin decomposition of the
+// placement region used both for density-overflow accounting (the
+// constraint of Eq. 2) and as the charge grid of the electrostatic
+// density model. The grid tracks fixed, movable and filler area per bin
+// separately: overflow counts only real movable cells against the
+// remaining bin capacity, while the electrostatic charge sums all three.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"eplace/internal/geom"
+)
+
+// Grid is an M x M uniform bin decomposition of a region.
+type Grid struct {
+	M      int
+	Region geom.Rect
+	BinW   float64
+	BinH   float64
+	// Fixed, Mov and Fill hold occupied area per bin, row-major
+	// indexed [j*M + i] with i the x (column) index.
+	Fixed []float64
+	Mov   []float64
+	Fill  []float64
+}
+
+// New creates an M x M grid over region. M must be a positive power of
+// two so the spectral solver can run on the same resolution.
+func New(region geom.Rect, m int) *Grid {
+	if m <= 0 || m&(m-1) != 0 {
+		panic(fmt.Sprintf("grid: size %d is not a positive power of two", m))
+	}
+	if region.Empty() {
+		panic("grid: empty region")
+	}
+	return &Grid{
+		M:      m,
+		Region: region,
+		BinW:   region.W() / float64(m),
+		BinH:   region.H() / float64(m),
+		Fixed:  make([]float64, m*m),
+		Mov:    make([]float64, m*m),
+		Fill:   make([]float64, m*m),
+	}
+}
+
+// ChooseM picks a power-of-two grid size so that the bin count is close
+// to the number of placeable objects (flat high-resolution grid, Sec.
+// IV), clamped to [16, 1024].
+func ChooseM(objects int) int {
+	if objects < 1 {
+		objects = 1
+	}
+	target := math.Sqrt(float64(objects))
+	m := 1 << bits.Len(uint(int(target)))
+	if m < 16 {
+		m = 16
+	}
+	if m > 1024 {
+		m = 1024
+	}
+	return m
+}
+
+// BinArea returns the area of one bin.
+func (g *Grid) BinArea() float64 { return g.BinW * g.BinH }
+
+// ClearMovable zeroes the movable and filler layers, keeping fixed.
+func (g *Grid) ClearMovable() {
+	for i := range g.Mov {
+		g.Mov[i] = 0
+		g.Fill[i] = 0
+	}
+}
+
+// ClearAll zeroes every layer.
+func (g *Grid) ClearAll() {
+	for i := range g.Mov {
+		g.Mov[i] = 0
+		g.Fill[i] = 0
+		g.Fixed[i] = 0
+	}
+}
+
+// binRange returns the closed-open bin index range [i0,i1) covering the
+// interval [lo,hi) along an axis with bin size s and origin o, clamped
+// to [0, M).
+func (g *Grid) binRange(lo, hi, o, s float64) (int, int) {
+	i0 := int(math.Floor((lo - o) / s))
+	i1 := int(math.Ceil((hi - o) / s))
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > g.M {
+		i1 = g.M
+	}
+	if i1 < i0 {
+		i1 = i0
+	}
+	return i0, i1
+}
+
+// splat adds rectangle r's overlap area, scaled by density, into layer.
+func (g *Grid) splat(layer []float64, r geom.Rect, density float64) {
+	if density == 0 || r.Empty() {
+		return
+	}
+	i0, i1 := g.binRange(r.Lx, r.Hx, g.Region.Lx, g.BinW)
+	j0, j1 := g.binRange(r.Ly, r.Hy, g.Region.Ly, g.BinH)
+	for j := j0; j < j1; j++ {
+		by0 := g.Region.Ly + float64(j)*g.BinH
+		oy := math.Min(r.Hy, by0+g.BinH) - math.Max(r.Ly, by0)
+		if oy <= 0 {
+			continue
+		}
+		row := j * g.M
+		for i := i0; i < i1; i++ {
+			bx0 := g.Region.Lx + float64(i)*g.BinW
+			ox := math.Min(r.Hx, bx0+g.BinW) - math.Max(r.Lx, bx0)
+			if ox <= 0 {
+				continue
+			}
+			layer[row+i] += ox * oy * density
+		}
+	}
+}
+
+// AddFixed rasterizes a fixed object's rectangle into the fixed layer.
+func (g *Grid) AddFixed(r geom.Rect) { g.splat(g.Fixed, r.Intersect(g.Region), 1) }
+
+// smoothed returns the footprint and charge-preserving density scale for
+// an object centered at (cx, cy): objects narrower than sqrt(2) bins are
+// inflated to sqrt(2) bins with density scaled so total charge (area) is
+// preserved, the ePlace local density smoothing for sub-bin cells.
+func (g *Grid) smoothed(cx, cy, w, h float64) (geom.Rect, float64) {
+	const inflate = math.Sqrt2
+	ew, eh := w, h
+	scale := 1.0
+	if minW := inflate * g.BinW; ew < minW {
+		scale *= ew / minW
+		ew = minW
+	}
+	if minH := inflate * g.BinH; eh < minH {
+		scale *= eh / minH
+		eh = minH
+	}
+	r := geom.NewRectCenter(cx, cy, ew, eh)
+	// Keep the (possibly inflated) footprint inside the region so charge
+	// is conserved at the boundary; Neumann walls reflect, not absorb.
+	return geom.ClampRectInside(r, g.Region), scale
+}
+
+// AddMovable rasterizes a movable cell (center cx, cy, size w x h) into
+// the movable layer with local smoothing.
+func (g *Grid) AddMovable(cx, cy, w, h float64) {
+	r, s := g.smoothed(cx, cy, w, h)
+	g.splat(g.Mov, r, s)
+}
+
+// AddFiller rasterizes a filler cell into the filler layer with local
+// smoothing.
+func (g *Grid) AddFiller(cx, cy, w, h float64) {
+	r, s := g.smoothed(cx, cy, w, h)
+	g.splat(g.Fill, r, s)
+}
+
+// Charge writes the total electrostatic charge per bin (fixed + movable
+// + filler area) into out, which must have length M*M, and removes the
+// mean so the total charge is zero (Eq. 6's compatibility condition).
+func (g *Grid) Charge(out []float64) {
+	if len(out) != g.M*g.M {
+		panic("grid: charge buffer size mismatch")
+	}
+	sum := 0.0
+	for i := range out {
+		out[i] = g.Fixed[i] + g.Mov[i] + g.Fill[i]
+		sum += out[i]
+	}
+	mean := sum / float64(len(out))
+	for i := range out {
+		out[i] -= mean
+	}
+}
+
+// Overflow returns the total density overflow tau in [0, 1]: the summed
+// movable area exceeding each bin's remaining capacity rhoT*(binArea -
+// fixed), normalized by the total movable area. Fillers are excluded:
+// they are placement aids, not demand.
+func (g *Grid) Overflow(rhoT float64) float64 {
+	binArea := g.BinArea()
+	over, total := 0.0, 0.0
+	for b := range g.Mov {
+		cap := rhoT * math.Max(0, binArea-g.Fixed[b])
+		if ex := g.Mov[b] - cap; ex > 0 {
+			over += ex
+		}
+		total += g.Mov[b]
+	}
+	if total == 0 {
+		return 0
+	}
+	return over / total
+}
+
+// OverflowPerBin returns the average scaled per-bin overflow used by the
+// ISPD 2006 sHPWL formula: for each bin, max(0, density/rhoT - 1)
+// averaged over bins carrying movable area, expressed in percent.
+func (g *Grid) OverflowPerBin(rhoT float64) float64 {
+	binArea := g.BinArea()
+	sum, n := 0.0, 0
+	for b := range g.Mov {
+		if g.Mov[b] <= 0 {
+			continue
+		}
+		freeCap := rhoT * math.Max(0, binArea-g.Fixed[b])
+		n++
+		if freeCap <= 0 {
+			sum += 1
+			continue
+		}
+		if r := g.Mov[b]/freeCap - 1; r > 0 {
+			sum += r
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}
+
+// MaxDensity returns the peak bin density (occupied fraction, all layers).
+func (g *Grid) MaxDensity() float64 {
+	binArea := g.BinArea()
+	m := 0.0
+	for b := range g.Mov {
+		if d := (g.Fixed[b] + g.Mov[b] + g.Fill[b]) / binArea; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TotalMovable returns the rasterized movable area (a conservation check:
+// it must match the summed cell areas for cells inside the region).
+func (g *Grid) TotalMovable() float64 {
+	s := 0.0
+	for _, v := range g.Mov {
+		s += v
+	}
+	return s
+}
+
+// TotalFill returns the rasterized filler area.
+func (g *Grid) TotalFill() float64 {
+	s := 0.0
+	for _, v := range g.Fill {
+		s += v
+	}
+	return s
+}
+
+// BinCenter returns the center coordinate of bin (i, j).
+func (g *Grid) BinCenter(i, j int) geom.Point {
+	return geom.Point{
+		X: g.Region.Lx + (float64(i)+0.5)*g.BinW,
+		Y: g.Region.Ly + (float64(j)+0.5)*g.BinH,
+	}
+}
+
+// BinOf returns the bin indices containing point p, clamped to the grid.
+func (g *Grid) BinOf(p geom.Point) (int, int) {
+	i := int((p.X - g.Region.Lx) / g.BinW)
+	j := int((p.Y - g.Region.Ly) / g.BinH)
+	if i < 0 {
+		i = 0
+	}
+	if i >= g.M {
+		i = g.M - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= g.M {
+		j = g.M - 1
+	}
+	return i, j
+}

@@ -1,0 +1,326 @@
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eplace/internal/netlist"
+)
+
+// Method selects the standard-cell legalization algorithm.
+type Method uint8
+
+const (
+	// Abacus places each cell by cluster dynamic programming per row,
+	// minimizing displacement (the default; better quality).
+	Abacus Method = iota
+	// Tetris greedily packs cells left-to-right (faster, rougher).
+	Tetris
+)
+
+// cluster is the Abacus cluster: a maximal run of abutting cells.
+// Optimal position x = q/e; merging is associative.
+type cluster struct {
+	x     float64 // optimal left edge
+	e     float64 // total weight
+	q     float64 // sum of w_i*(x_i' - offset_i)
+	w     float64 // total width
+	cells []int
+}
+
+// seg is one free row interval with its placed clusters.
+type seg struct {
+	lx, hx   float64
+	clusters []cluster
+	used     float64
+}
+
+// Cells legalizes the given standard cells onto the design's rows,
+// minimizing displacement from their global-placement positions.
+// Returns the total and maximum displacement, or an error if capacity
+// is insufficient.
+func Cells(d *netlist.Design, cells []int, method Method) (total, max float64, err error) {
+	if len(d.Rows) == 0 {
+		return 0, 0, fmt.Errorf("legalize: design has no rows")
+	}
+	rawSegs := FreeSegments(d)
+	rows := make([][]seg, len(d.Rows))
+	for ri := range rawSegs {
+		for _, s := range rawSegs[ri] {
+			rows[ri] = append(rows[ri], seg{lx: s.Lx, hx: s.Hx})
+		}
+	}
+
+	// Process cells in x order (Abacus) so per-row packing is coherent.
+	order := append([]int(nil), cells...)
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := &d.Cells[order[a]], &d.Cells[order[b]]
+		if ca.X != cb.X {
+			return ca.X < cb.X
+		}
+		return order[a] < order[b]
+	})
+
+	// Row index sorted by Y for nearest-row search.
+	rowY := make([]float64, len(d.Rows))
+	for i, r := range d.Rows {
+		rowY[i] = r.Y
+	}
+
+	for _, ci := range order {
+		c := &d.Cells[ci]
+		desiredX := c.X - c.W/2
+		desiredY := c.Y - c.H/2
+		bestCost := math.Inf(1)
+		bestRow, bestSeg := -1, -1
+		var bestX float64
+		// Try rows outward from the nearest until the row-distance alone
+		// exceeds the best cost found.
+		nearest := nearestRow(rowY, desiredY)
+		for radius := 0; ; radius++ {
+			any := false
+			for _, ri := range []int{nearest - radius, nearest + radius} {
+				if ri < 0 || ri >= len(d.Rows) || (radius == 0 && ri != nearest) {
+					continue
+				}
+				rowDist := math.Abs(d.Rows[ri].Y - desiredY)
+				if rowDist >= bestCost {
+					continue
+				}
+				any = true
+				for si := range rows[ri] {
+					s := &rows[ri][si]
+					if s.hx-s.lx-s.used < c.W {
+						continue
+					}
+					var x float64
+					if method == Tetris {
+						x = tetrisTrial(s, desiredX, c.W)
+					} else {
+						x = abacusTrial(s, desiredX, c.W)
+					}
+					if math.IsNaN(x) {
+						continue
+					}
+					cost := math.Abs(x-desiredX) + rowDist
+					if cost < bestCost {
+						bestCost, bestRow, bestSeg, bestX = cost, ri, si, x
+					}
+				}
+			}
+			if !any && radius > 0 {
+				break
+			}
+			if radius > len(d.Rows) {
+				break
+			}
+		}
+		if bestRow < 0 {
+			return total, max, fmt.Errorf("legalize: no room for cell %d (%s), w=%v", ci, c.Name, c.W)
+		}
+		row := &d.Rows[bestRow]
+		s := &rows[bestRow][bestSeg]
+		var placedX float64
+		if method == Tetris {
+			placedX = tetrisCommit(s, ci, bestX, c.W)
+		} else {
+			placedX = abacusCommit(d, s, ci, desiredX, c.W)
+		}
+		c.X = placedX + c.W/2
+		c.Y = row.Y + c.H/2
+		disp := math.Abs(c.X-(desiredX+c.W/2)) + math.Abs(c.Y-(desiredY+c.H/2))
+		total += disp
+		if disp > max {
+			max = disp
+		}
+		s.used += c.W
+	}
+
+	// Final per-segment fixups: snap cluster positions to sites and
+	// write cells back (Abacus moves earlier cells when clusters
+	// collapse). Snapping is all-or-nothing per segment: if any cluster
+	// cannot be site-aligned without colliding (fractional segment
+	// boundaries can force this), the whole segment keeps the exact
+	// cluster positions, which are legal by construction.
+	for ri := range rows {
+		row := &d.Rows[ri]
+		for si := range rows[ri] {
+			s := &rows[ri][si]
+			sort.Slice(s.clusters, func(a, b int) bool { return s.clusters[a].x < s.clusters[b].x })
+			xs, ok := snappedSegment(row, s)
+			if !ok {
+				xs = unsnappedSegment(s)
+			}
+			for k := range s.clusters {
+				x := xs[k]
+				for _, ci := range s.clusters[k].cells {
+					c := &d.Cells[ci]
+					c.X = x + c.W/2
+					x += c.W
+				}
+			}
+		}
+	}
+	return total, max, nil
+}
+
+// snappedSegment computes site-aligned cluster left edges, or ok=false
+// when some cluster cannot be aligned without collision or overflow.
+func snappedSegment(row *netlist.Row, s *seg) ([]float64, bool) {
+	if row.SiteW <= 0 {
+		return nil, false
+	}
+	xs := make([]float64, len(s.clusters))
+	frontier := s.lx
+	for k := range s.clusters {
+		cl := &s.clusters[k]
+		x := snap(row, cl.x)
+		if x < frontier {
+			x = row.Lx + math.Ceil((frontier-row.Lx-1e-9)/row.SiteW)*row.SiteW
+		}
+		if x+cl.w > s.hx+1e-9 {
+			x = row.Lx + math.Floor((s.hx-cl.w-row.Lx+1e-9)/row.SiteW)*row.SiteW
+		}
+		if x < frontier-1e-9 || x+cl.w > s.hx+1e-9 {
+			return nil, false
+		}
+		xs[k] = x
+		frontier = x + cl.w
+	}
+	return xs, true
+}
+
+// unsnappedSegment returns the exact (legal) cluster left edges.
+func unsnappedSegment(s *seg) []float64 {
+	xs := make([]float64, len(s.clusters))
+	frontier := s.lx
+	for k := range s.clusters {
+		cl := &s.clusters[k]
+		x := math.Max(cl.x, frontier)
+		if x+cl.w > s.hx {
+			x = s.hx - cl.w
+		}
+		if x < frontier {
+			x = frontier
+		}
+		xs[k] = x
+		frontier = x + cl.w
+	}
+	return xs
+}
+
+func nearestRow(rowY []float64, y float64) int {
+	i := sort.SearchFloat64s(rowY, y)
+	if i == 0 {
+		return 0
+	}
+	if i >= len(rowY) {
+		return len(rowY) - 1
+	}
+	if y-rowY[i-1] <= rowY[i]-y {
+		return i - 1
+	}
+	return i
+}
+
+// tetrisTrial returns the x the cell would get by greedy packing: the
+// desired position pushed right of every existing cell in the segment.
+func tetrisTrial(s *seg, desiredX, w float64) float64 {
+	x := math.Max(desiredX, s.lx)
+	// Clusters in Tetris mode are single cells appended in order; the
+	// frontier is the rightmost occupied edge.
+	frontier := s.lx
+	for _, cl := range s.clusters {
+		if cl.x+cl.w > frontier {
+			frontier = cl.x + cl.w
+		}
+	}
+	if x < frontier {
+		x = frontier
+	}
+	if x+w > s.hx {
+		x = s.hx - w
+		if x < frontier {
+			return math.NaN()
+		}
+	}
+	return x
+}
+
+func tetrisCommit(s *seg, ci int, x, w float64) float64 {
+	s.clusters = append(s.clusters, cluster{x: x, e: 1, q: x, w: w, cells: []int{ci}})
+	return x
+}
+
+// abacusTrial simulates adding a cell (desired left edge desiredX,
+// width w) to the segment and returns the final x the cell would get.
+func abacusTrial(s *seg, desiredX, w float64) float64 {
+	x, _ := abacusPlace(s, -1, desiredX, w, false)
+	return x
+}
+
+// abacusCommit adds the cell permanently and returns its final x.
+func abacusCommit(d *netlist.Design, s *seg, ci int, desiredX, w float64) float64 {
+	x, _ := abacusPlace(s, ci, desiredX, w, true)
+	return x
+}
+
+// abacusPlace implements the Abacus cluster recurrence on one segment.
+// When commit is false the segment state is restored afterwards.
+func abacusPlace(s *seg, ci int, desiredX, w float64, commit bool) (float64, bool) {
+	// Candidate cluster for the new cell.
+	nc := cluster{e: 1, q: desiredX, w: w}
+	if commit {
+		nc.cells = []int{ci}
+	}
+	nc.x = clampX(nc.q/nc.e, s.lx, s.hx, nc.w)
+
+	saved := s.clusters
+	work := append([]cluster(nil), s.clusters...)
+	work = append(work, nc)
+	// Collapse: merge the last cluster into its predecessor while they
+	// overlap, then re-clamp.
+	for len(work) >= 2 {
+		last := &work[len(work)-1]
+		prev := &work[len(work)-2]
+		if prev.x+prev.w <= last.x+1e-12 {
+			break
+		}
+		// Merge last into prev.
+		prev.q += last.q - last.e*prev.w
+		prev.e += last.e
+		if commit {
+			prev.cells = append(prev.cells, last.cells...)
+		}
+		prev.w += last.w
+		prev.x = clampX(prev.q/prev.e, s.lx, s.hx, prev.w)
+		work = work[:len(work)-1]
+	}
+	// Fit check.
+	tail := work[len(work)-1]
+	if tail.x < s.lx-1e-9 || tail.x+tail.w > s.hx+1e-9 {
+		if !commit {
+			s.clusters = saved
+		}
+		return math.NaN(), false
+	}
+	// Locate the new cell's x: it is the last cell of the tail cluster.
+	x := tail.x + tail.w - w
+	if commit {
+		s.clusters = work
+	} else {
+		s.clusters = saved
+	}
+	return x, true
+}
+
+func clampX(x, lx, hx, w float64) float64 {
+	if x < lx {
+		x = lx
+	}
+	if x+w > hx {
+		x = hx - w
+	}
+	return x
+}

@@ -1,0 +1,166 @@
+// Package legalize turns global-placement layouts into legal ones: the
+// two-level annealing macro legalizer mLG of Sec. VI-A, and row-based
+// standard-cell legalization (greedy Tetris and Abacus-style cluster
+// dynamic programming) used by the cDP stage. A legality checker
+// validates results in tests and at stage boundaries.
+package legalize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eplace/internal/geom"
+	"eplace/internal/netlist"
+)
+
+// BuildRows synthesizes uniform standard-cell rows covering the region
+// when the design has none. rowHeight should match the standard-cell
+// height; siteW is the x snap grid (0 disables snapping).
+func BuildRows(d *netlist.Design, rowHeight, siteW float64) {
+	if rowHeight <= 0 {
+		panic("legalize: non-positive row height")
+	}
+	d.Rows = d.Rows[:0]
+	r := d.Region
+	for y := r.Ly; y+rowHeight <= r.Hy+1e-9; y += rowHeight {
+		d.Rows = append(d.Rows, netlist.Row{
+			Y: y, Height: rowHeight, Lx: r.Lx, Hx: r.Hx, SiteW: siteW,
+		})
+	}
+}
+
+// Segment is a free interval of one row between obstacles.
+type Segment struct {
+	Lx, Hx float64
+}
+
+// FreeSegments computes the obstacle-free intervals of every row:
+// anything Fixed, plus macro-kind cells regardless of the Fixed flag
+// (mLG runs before cell legalization), blocks the rows it crosses.
+// Overlapping obstacles (e.g. pads under a macro) are merged.
+func FreeSegments(d *netlist.Design) [][]Segment {
+	segs := make([][]Segment, len(d.Rows))
+	for ri, row := range d.Rows {
+		// Collect blockage x-intervals intersecting this row.
+		type iv struct{ lo, hi float64 }
+		var blocks []iv
+		rowRect := geom.Rect{Lx: row.Lx, Ly: row.Y, Hx: row.Hx, Hy: row.Y + row.Height}
+		for i := range d.Cells {
+			c := &d.Cells[i]
+			if !c.Fixed && c.Kind != netlist.Macro {
+				continue
+			}
+			if c.Kind == netlist.Filler {
+				continue
+			}
+			r := c.Rect()
+			if r.Intersects(rowRect) {
+				blocks = append(blocks, iv{math.Max(r.Lx, row.Lx), math.Min(r.Hx, row.Hx)})
+			}
+		}
+		sort.Slice(blocks, func(a, b int) bool { return blocks[a].lo < blocks[b].lo })
+		x := row.Lx
+		for _, b := range blocks {
+			if b.lo > x {
+				segs[ri] = append(segs[ri], Segment{x, b.lo})
+			}
+			if b.hi > x {
+				x = b.hi
+			}
+		}
+		if x < row.Hx {
+			segs[ri] = append(segs[ri], Segment{x, row.Hx})
+		}
+	}
+	return segs
+}
+
+// snap rounds x to the row's site grid.
+func snap(row *netlist.Row, x float64) float64 {
+	if row.SiteW <= 0 {
+		return x
+	}
+	return row.Lx + math.Round((x-row.Lx)/row.SiteW)*row.SiteW
+}
+
+// CheckLegal verifies that the given standard cells are legally placed:
+// inside the region, bottom-aligned to a row, non-overlapping with each
+// other and with fixed objects/macros. It returns nil or a descriptive
+// error for the first violation.
+func CheckLegal(d *netlist.Design, cells []int) error {
+	if len(d.Rows) == 0 {
+		return fmt.Errorf("legalize: design has no rows")
+	}
+	rowAt := make(map[float64]bool, len(d.Rows))
+	for _, r := range d.Rows {
+		rowAt[round6(r.Y)] = true
+	}
+	type placed struct {
+		r  geom.Rect
+		ci int
+	}
+	var all []placed
+	for _, ci := range cells {
+		c := &d.Cells[ci]
+		r := c.Rect()
+		if !d.Region.ContainsRect(r) {
+			return fmt.Errorf("legalize: cell %d (%s) outside region: %v", ci, c.Name, r)
+		}
+		if !rowAt[round6(r.Ly)] {
+			return fmt.Errorf("legalize: cell %d (%s) not row-aligned: y=%v", ci, c.Name, r.Ly)
+		}
+		all = append(all, placed{r, ci})
+	}
+	// Overlap among the legalized cells (sweep).
+	sort.Slice(all, func(a, b int) bool { return all[a].r.Lx < all[b].r.Lx })
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].r.Lx >= all[i].r.Hx-1e-9 {
+				break
+			}
+			if ov := all[i].r.Overlap(all[j].r); ov > 1e-6 {
+				return fmt.Errorf("legalize: cells %d and %d overlap by %v", all[i].ci, all[j].ci, ov)
+			}
+		}
+	}
+	// Overlap with fixed objects and macros.
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if !c.Fixed && c.Kind != netlist.Macro {
+			continue
+		}
+		fr := c.Rect()
+		for _, p := range all {
+			if p.ci == i {
+				continue
+			}
+			if ov := fr.Overlap(p.r); ov > 1e-6 {
+				return fmt.Errorf("legalize: cell %d overlaps fixed/macro %d by %v", p.ci, i, ov)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMacrosLegal verifies macros are inside the region and mutually
+// non-overlapping.
+func CheckMacrosLegal(d *netlist.Design, macros []int) error {
+	for _, mi := range macros {
+		r := d.Cells[mi].Rect()
+		if !d.Region.ContainsRect(r.Expand(-1e-9)) {
+			return fmt.Errorf("legalize: macro %d outside region: %v", mi, r)
+		}
+	}
+	for i := 0; i < len(macros); i++ {
+		ri := d.Cells[macros[i]].Rect()
+		for j := i + 1; j < len(macros); j++ {
+			if ov := ri.Overlap(d.Cells[macros[j]].Rect()); ov > 1e-6 {
+				return fmt.Errorf("legalize: macros %d and %d overlap by %v", macros[i], macros[j], ov)
+			}
+		}
+	}
+	return nil
+}
+
+func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }

@@ -1,0 +1,215 @@
+// Package nesterov implements the nonlinear solvers of the paper:
+// Nesterov's method (Algorithm 1) with steplength predicted as the
+// inverse Lipschitz constant (Eq. 10) and refined by the BkTrk
+// backtracking of Algorithm 2, plus a conjugate-gradient solver with
+// line search that reproduces the FFTPL/APlace-style optimizer ePlace
+// compares against (Sec. V-A and footnote 2).
+//
+// The solvers are generic over the objective: the placement engine
+// supplies a gradient callback (already preconditioned, Sec. V-D) and,
+// for the CG baseline, a cost callback. The cost function may change
+// between iterations (gamma and lambda are adjusted iteratively); the
+// dynamic Lipschitz prediction is what makes that safe (Sec. V-B).
+package nesterov
+
+import (
+	"math"
+)
+
+// GradFunc evaluates the (preconditioned) gradient of f at v into grad.
+// It must not retain the slices.
+type GradFunc func(v, grad []float64)
+
+// ClampFunc restricts a solution vector to the feasible box in place.
+type ClampFunc func(v []float64)
+
+// Optimizer runs Nesterov's method with Lipschitz steplength prediction
+// and backtracking. Create with New, then call Step repeatedly; U holds
+// the output solution u_k, which the paper returns as the final answer.
+type Optimizer struct {
+	// Epsilon is the backtracking scale factor (Algorithm 2; 0.95).
+	Epsilon float64
+	// MaxBacktrack bounds the inner loop of Algorithm 2 (default 10).
+	MaxBacktrack int
+	// MaxStep caps the predicted steplength to keep iterations sane when
+	// successive gradients are nearly identical (default 1e9*seedStep).
+	MaxStep float64
+	// AdaptiveRestart resets the momentum sequence a_k whenever the
+	// gradient opposes the current velocity (O'Donoghue & Candes), an
+	// optional refinement beyond the paper that damps the oscillation
+	// Nesterov momentum can develop on nonconvex objectives.
+	AdaptiveRestart bool
+
+	grad  GradFunc
+	clamp ClampFunc
+
+	// U and V are the two concurrently updated solutions u_k and v_k.
+	U, V []float64
+	// GradV is grad f_pre(v_k).
+	GradV []float64
+
+	vPrev    []float64
+	gradPrev []float64
+	a        float64
+
+	// scratch
+	uNext, vNext, gradNext []float64
+
+	steps      int
+	backtracks int
+	restarts   int
+}
+
+// New creates an optimizer at v0. The reference solution v_{k-1} needed
+// by the first Lipschitz prediction is seeded by a small descent
+// perturbation of v0 with magnitude seedStep (use a fraction of a bin).
+// clamp may be nil.
+func New(v0 []float64, g GradFunc, clamp ClampFunc, seedStep float64) *Optimizer {
+	n := len(v0)
+	o := &Optimizer{
+		Epsilon:      0.95,
+		MaxBacktrack: 10,
+		MaxStep:      math.Inf(1),
+		grad:         g,
+		clamp:        clamp,
+		U:            append([]float64(nil), v0...),
+		V:            append([]float64(nil), v0...),
+		GradV:        make([]float64, n),
+		vPrev:        make([]float64, n),
+		gradPrev:     make([]float64, n),
+		uNext:        make([]float64, n),
+		vNext:        make([]float64, n),
+		gradNext:     make([]float64, n),
+		a:            1,
+	}
+	o.MaxStep = 1e9 * seedStep
+	o.grad(o.V, o.GradV)
+	gn := norm(o.GradV)
+	if gn == 0 {
+		gn = 1
+	}
+	scale := seedStep / gn
+	for i := range o.vPrev {
+		o.vPrev[i] = o.V[i] - scale*o.GradV[i]
+	}
+	if o.clamp != nil {
+		o.clamp(o.vPrev)
+	}
+	o.grad(o.vPrev, o.gradPrev)
+	return o
+}
+
+// Steps returns the number of Step calls so far.
+func (o *Optimizer) Steps() int { return o.steps }
+
+// Backtracks returns the total number of extra gradient evaluations
+// spent inside BkTrk (0 when every first check passes).
+func (o *Optimizer) Backtracks() int { return o.backtracks }
+
+// Step advances one iteration of Algorithm 1, returning the accepted
+// steplength and the number of backtracks taken. When disableBkTrk is
+// true the Lipschitz prediction is used unchecked (the ablation of
+// Sec. V-C).
+func (o *Optimizer) Step(disableBkTrk bool) (alpha float64, backtracks int) {
+	n := len(o.V)
+	aNext := (1 + math.Sqrt(4*o.a*o.a+1)) / 2
+	coeff := (o.a - 1) / aNext
+
+	if norm(o.GradV) == 0 {
+		// Stationary point: stay put but keep the recurrence moving so a
+		// later objective change (lambda/gamma update) resumes cleanly.
+		copy(o.uNext, o.V)
+		copy(o.vNext, o.V)
+		o.grad(o.vNext, o.gradNext)
+		o.commit(aNext)
+		return 0, 0
+	}
+
+	alpha = o.lipschitzStep(o.V, o.vPrev, o.GradV, o.gradPrev)
+	for bt := 0; ; bt++ {
+		// Candidate u_{k+1} and extrapolated v_{k+1} (Alg. 1 lines 2, 4).
+		for i := 0; i < n; i++ {
+			o.uNext[i] = o.V[i] - alpha*o.GradV[i]
+		}
+		if o.clamp != nil {
+			o.clamp(o.uNext)
+		}
+		for i := 0; i < n; i++ {
+			o.vNext[i] = o.uNext[i] + coeff*(o.uNext[i]-o.U[i])
+		}
+		if o.clamp != nil {
+			o.clamp(o.vNext)
+		}
+		o.grad(o.vNext, o.gradNext)
+		if disableBkTrk || bt >= o.MaxBacktrack {
+			break
+		}
+		// Reference steplength from the new pair (Alg. 2 line 2). The
+		// gradient at the candidate is reused next iteration, so a
+		// passing first check costs nothing extra. Accept unless the
+		// measured inverse Lipschitz constant is more than (1-Epsilon)
+		// below the prediction — a genuine overestimate.
+		ref := o.lipschitzStep(o.vNext, o.V, o.gradNext, o.GradV)
+		if ref >= o.Epsilon*alpha {
+			break
+		}
+		alpha = ref
+		backtracks++
+	}
+	o.backtracks += backtracks
+
+	// Gradient-based adaptive restart: if the new gradient points
+	// against the step just taken, momentum is hurting — restart the
+	// a_k sequence.
+	if o.AdaptiveRestart {
+		dot := 0.0
+		for i := range o.vNext {
+			dot += o.gradNext[i] * (o.uNext[i] - o.U[i])
+		}
+		if dot > 0 {
+			aNext = 1
+			o.restarts++
+		}
+	}
+	o.commit(aNext)
+	return alpha, backtracks
+}
+
+// Restarts returns how many adaptive restarts have fired.
+func (o *Optimizer) Restarts() int { return o.restarts }
+
+// commit shifts the solution and gradient windows forward one iteration.
+func (o *Optimizer) commit(aNext float64) {
+	o.steps++
+	o.U, o.uNext = o.uNext, o.U
+	o.vPrev, o.V, o.vNext = o.V, o.vNext, o.vPrev
+	o.gradPrev, o.GradV, o.gradNext = o.GradV, o.gradNext, o.gradPrev
+	o.a = aNext
+}
+
+// lipschitzStep returns the Eq. (10) steplength ||dv|| / ||dg||, capped.
+func (o *Optimizer) lipschitzStep(v, vp, g, gp []float64) float64 {
+	var dv, dg float64
+	for i := range v {
+		d := v[i] - vp[i]
+		dv += d * d
+		e := g[i] - gp[i]
+		dg += e * e
+	}
+	if dg == 0 {
+		return o.MaxStep
+	}
+	s := math.Sqrt(dv / dg)
+	if s == 0 || math.IsNaN(s) || s > o.MaxStep {
+		s = o.MaxStep
+	}
+	return s
+}
+
+func norm(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

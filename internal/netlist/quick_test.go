@@ -1,0 +1,118 @@
+package netlist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eplace/internal/geom"
+)
+
+func randomDesign(seed int64) *Design {
+	rng := rand.New(rand.NewSource(seed))
+	d := New("q", geom.Rect{Hx: 100, Hy: 100})
+	n := 2 + rng.Intn(15)
+	var idx []int
+	for i := 0; i < n; i++ {
+		idx = append(idx, d.AddCell(Cell{
+			W: 1 + rng.Float64()*4, H: 1 + rng.Float64()*2,
+			X: rng.Float64() * 100, Y: rng.Float64() * 100,
+		}))
+	}
+	for k := 0; k < 1+rng.Intn(8); k++ {
+		ni := d.AddNet("", 1)
+		deg := 2 + rng.Intn(4)
+		for p := 0; p < deg; p++ {
+			d.Connect(idx[rng.Intn(n)], ni, rng.Float64()-0.5, rng.Float64()-0.5)
+		}
+	}
+	return d
+}
+
+// Property: HPWL scales linearly with uniform coordinate scaling.
+func TestQuickHPWLScaling(t *testing.T) {
+	f := func(seed int64, sRaw uint8) bool {
+		d := randomDesign(seed)
+		s := 0.25 + float64(sRaw)/64
+		before := d.HPWL()
+		for i := range d.Cells {
+			d.Cells[i].X *= s
+			d.Cells[i].Y *= s
+		}
+		for i := range d.Pins {
+			d.Pins[i].Ox *= s
+			d.Pins[i].Oy *= s
+		}
+		after := d.HPWL()
+		return math.Abs(after-s*before) < 1e-9*(1+before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HPWL is invariant under mirroring the design about the
+// region's vertical axis.
+func TestQuickHPWLMirrorInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDesign(seed)
+		before := d.HPWL()
+		for i := range d.Cells {
+			d.Cells[i].X = 100 - d.Cells[i].X
+		}
+		for i := range d.Pins {
+			d.Pins[i].Ox = -d.Pins[i].Ox
+		}
+		after := d.HPWL()
+		return math.Abs(after-before) < 1e-9*(1+before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone + Validate always succeeds, and mutating the clone
+// never perturbs the original's HPWL.
+func TestQuickCloneIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDesign(seed)
+		before := d.HPWL()
+		c := d.Clone()
+		if c.Validate() != nil {
+			return false
+		}
+		for i := range c.Cells {
+			c.Cells[i].X += 7
+		}
+		return d.HPWL() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total overlap is zero after spreading cells onto a
+// sufficiently coarse lattice, and positive when all are stacked.
+func TestQuickOverlapExtremes(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDesign(seed)
+		idx := d.Movable()
+		// Lattice spread: pitch larger than any cell dimension.
+		for k, ci := range idx {
+			d.Cells[ci].X = float64(k%10) * 8
+			d.Cells[ci].Y = float64(k/10) * 8
+		}
+		if d.TotalOverlap(idx) != 0 {
+			return false
+		}
+		for _, ci := range idx {
+			d.Cells[ci].X = 50
+			d.Cells[ci].Y = 50
+		}
+		return len(idx) < 2 || d.TotalOverlap(idx) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

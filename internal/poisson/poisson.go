@@ -1,0 +1,225 @@
+// Package poisson solves the well-defined Poisson equation of Eq. (6)
+//
+//	div grad psi(x, y) = -rho(x, y)
+//	n . grad psi = 0 on the boundary (Neumann)
+//	integral of rho = integral of psi = 0
+//
+// on an M x M grid by spectral methods, exactly as FFTPL/ePlace: the
+// charge is expanded in the cosine basis cos(w_u x) cos(w_v y),
+// w_u = pi*u/M (which satisfies the Neumann condition term by term), the
+// potential coefficients are a_{uv}/(w_u^2 + w_v^2) with the (0,0) mode
+// removed, and the field components come from differentiating the basis,
+// turning one cosine factor into a sine. Everything runs in
+// O(M^2 log M) via the transforms in internal/fft, with row batches
+// fanned out over a small worker pool.
+//
+// Grid coordinates: sample (i, j) is the bin center (i+1/2, j+1/2) in
+// units of bins. Ex is minus d(psi)/dx, the electric field that pushes
+// positive charge away from density peaks; Ey likewise.
+package poisson
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"eplace/internal/fft"
+)
+
+// Solver holds workspace for repeated solves on one grid size. A Solver
+// is not safe for concurrent Solve calls; it parallelizes internally.
+type Solver struct {
+	m int
+	// One transform workspace and column scratch pair per worker.
+	trs        []*fft.Real
+	cols, colO [][]float64
+	// wu[u] = pi*u/m.
+	wu []float64
+	// Coefficient and scratch planes, all m*m row-major [v*m + u].
+	auv  []float64 // DCT coefficients of rho
+	buv  []float64 // potential coefficients auv/(wu^2+wv^2)
+	cxuv []float64 // field-x coefficients buv*wu
+	cyuv []float64 // field-y coefficients buv*wv
+	tmp  []float64
+	// Outputs, valid after Solve.
+	Psi []float64 // potential at bin centers
+	Ex  []float64 // -d psi / dx
+	Ey  []float64 // -d psi / dy
+}
+
+// NewSolver creates a solver for an m x m grid (m a power of two).
+func NewSolver(m int) *Solver {
+	if m <= 0 || m&(m-1) != 0 {
+		panic(fmt.Sprintf("poisson: grid size %d is not a positive power of two", m))
+	}
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 || m < 64 {
+		workers = 1
+	}
+	s := &Solver{
+		m:    m,
+		wu:   make([]float64, m),
+		auv:  make([]float64, m*m),
+		buv:  make([]float64, m*m),
+		cxuv: make([]float64, m*m),
+		cyuv: make([]float64, m*m),
+		tmp:  make([]float64, m*m),
+		Psi:  make([]float64, m*m),
+		Ex:   make([]float64, m*m),
+		Ey:   make([]float64, m*m),
+	}
+	for w := 0; w < workers; w++ {
+		s.trs = append(s.trs, fft.NewReal(m))
+		s.cols = append(s.cols, make([]float64, m))
+		s.colO = append(s.colO, make([]float64, m))
+	}
+	for u := 0; u < m; u++ {
+		s.wu[u] = math.Pi * float64(u) / float64(m)
+	}
+	return s
+}
+
+// M returns the grid size.
+func (s *Solver) M() int { return s.m }
+
+// pfor runs fn(worker, i) for i in [0, n) across the worker pool.
+func (s *Solver) pfor(n int, fn func(worker, i int)) {
+	nw := len(s.trs)
+	if nw == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(w, i)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Solve computes Psi, Ex and Ey from the charge plane rho (length m*m,
+// row-major [j*m + i]). The zero-frequency (mean) component of rho is
+// discarded, so callers need not pre-center the charge.
+func (s *Solver) Solve(rho []float64) {
+	m := s.m
+	if len(rho) != m*m {
+		panic("poisson: charge plane size mismatch")
+	}
+
+	// Forward 2D DCT-II: rows (x direction) then columns (y direction).
+	s.pfor(m, func(w, j int) {
+		s.trs[w].DCT2(rho[j*m:(j+1)*m], s.tmp[j*m:(j+1)*m])
+	})
+	s.pfor(m, func(w, u int) {
+		col, colO := s.cols[w], s.colO[w]
+		for j := 0; j < m; j++ {
+			col[j] = s.tmp[j*m+u]
+		}
+		s.trs[w].DCT2(col, colO)
+		for v := 0; v < m; v++ {
+			s.auv[v*m+u] = colO[v]
+		}
+	})
+	// Normalize so that rho[j][i] = sum a_{uv} cos(wu(i+1/2)) cos(wv(j+1/2)):
+	// a_{uv} = (2 s_u / m)(2 s_v / m) * X_{uv}, s_0 = 1/2 else 1, and
+	// fold in the potential and field coefficients in the same pass.
+	norm := 4 / float64(m*m)
+	s.pfor(m, func(_, v int) {
+		sv := 1.0
+		if v == 0 {
+			sv = 0.5
+		}
+		wv := s.wu[v]
+		for u := 0; u < m; u++ {
+			su := 1.0
+			if u == 0 {
+				su = 0.5
+			}
+			a := s.auv[v*m+u] * norm * su * sv
+			s.auv[v*m+u] = a
+			wu := s.wu[u]
+			k2 := wu*wu + wv*wv
+			var b float64
+			if k2 > 0 {
+				b = a / k2
+			}
+			s.buv[v*m+u] = b
+			s.cxuv[v*m+u] = b * wu
+			s.cyuv[v*m+u] = b * wv
+		}
+	})
+
+	// Psi = IDCT_x IDCT_y (buv).
+	s.inverse2D(s.buv, s.Psi, false, false)
+	// Ex = IDST_x IDCT_y (buv * wu): psi's x-cosine differentiates to
+	// -wu sin; Ex = -d psi/dx = +sum b wu sin cos.
+	s.inverse2D(s.cxuv, s.Ex, true, false)
+	// Ey symmetric.
+	s.inverse2D(s.cyuv, s.Ey, false, true)
+}
+
+// inverse2D reconstructs out[j][i] = sum_{u,v} c[v][u] * fx(u,i) * fy(v,j)
+// where fx is sin when sinX else cos, and fy likewise.
+func (s *Solver) inverse2D(c, out []float64, sinX, sinY bool) {
+	m := s.m
+	// Along u (x) for each coefficient row v.
+	s.pfor(m, func(w, v int) {
+		row := c[v*m : (v+1)*m]
+		dst := s.tmp[v*m : (v+1)*m]
+		if sinX {
+			s.trs[w].IDST(row, dst)
+		} else {
+			s.trs[w].IDCT(row, dst)
+		}
+	})
+	// Along v (y) for each spatial column i.
+	s.pfor(m, func(w, i int) {
+		col, colO := s.cols[w], s.colO[w]
+		for v := 0; v < m; v++ {
+			col[v] = s.tmp[v*m+i]
+		}
+		if sinY {
+			s.trs[w].IDST(col, colO)
+		} else {
+			s.trs[w].IDCT(col, colO)
+		}
+		for j := 0; j < m; j++ {
+			out[j*m+i] = colO[j]
+		}
+	})
+}
+
+// Energy returns the total electric potential energy N = sum_b rho_b * psi_b
+// for the charge plane used in the latest Solve. Callers pass the same
+// rho they solved with; the (0,0) mode of psi is zero so any constant
+// offset of rho does not contribute.
+func (s *Solver) Energy(rho []float64) float64 {
+	if len(rho) != len(s.Psi) {
+		panic("poisson: charge plane size mismatch")
+	}
+	e := 0.0
+	for b, r := range rho {
+		e += r * s.Psi[b]
+	}
+	return e
+}

@@ -1,0 +1,202 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eplace/internal/geom"
+	"eplace/internal/netlist"
+)
+
+func TestChainBetweenPads(t *testing.T) {
+	// pad0(0) - c0 - c1 - c2 - pad1(40): cells end ordered inside [0, 40].
+	d := netlist.New("chain", geom.Rect{Hx: 40, Hy: 10})
+	pad0 := d.AddCell(netlist.Cell{W: 1, H: 1, X: 0, Y: 5, Fixed: true, Kind: netlist.Pad})
+	pad1 := d.AddCell(netlist.Cell{W: 1, H: 1, X: 40, Y: 5, Fixed: true, Kind: netlist.Pad})
+	var cells []int
+	for i := 0; i < 3; i++ {
+		cells = append(cells, d.AddCell(netlist.Cell{W: 1, H: 1, Y: 5}))
+	}
+	link := func(a, b int) {
+		ni := d.AddNet("", 1)
+		d.Connect(a, ni, 0, 0)
+		d.Connect(b, ni, 0, 0)
+	}
+	link(pad0, cells[0])
+	link(cells[0], cells[1])
+	link(cells[1], cells[2])
+	link(cells[2], pad1)
+	Place(d, cells, Options{})
+	xs := []float64{d.Cells[cells[0]].X, d.Cells[cells[1]].X, d.Cells[cells[2]].X}
+	if !(xs[0] < xs[1] && xs[1] < xs[2]) {
+		t.Errorf("chain not ordered: %v", xs)
+	}
+	if xs[0] < 0.5 || xs[2] > 39.5 {
+		t.Errorf("chain endpoints out of span: %v", xs)
+	}
+	// Middle cell near the center.
+	if math.Abs(xs[1]-20) > 6 {
+		t.Errorf("middle cell at %v, want near 20", xs[1])
+	}
+}
+
+func TestStarPullsToCenterOfPads(t *testing.T) {
+	d := netlist.New("star", geom.Rect{Hx: 100, Hy: 100})
+	c := d.AddCell(netlist.Cell{W: 2, H: 2})
+	pads := [][2]float64{{10, 10}, {90, 10}, {10, 90}, {90, 90}}
+	for _, p := range pads {
+		pi := d.AddCell(netlist.Cell{W: 1, H: 1, X: p[0], Y: p[1], Fixed: true, Kind: netlist.Pad})
+		ni := d.AddNet("", 1)
+		d.Connect(c, ni, 0, 0)
+		d.Connect(pi, ni, 0, 0)
+	}
+	Place(d, []int{c}, Options{})
+	if math.Abs(d.Cells[c].X-50) > 2 || math.Abs(d.Cells[c].Y-50) > 2 {
+		t.Errorf("star center at (%v, %v), want near (50, 50)", d.Cells[c].X, d.Cells[c].Y)
+	}
+}
+
+func TestPlaceReducesHPWLFromRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := netlist.New("r", geom.Rect{Hx: 200, Hy: 200})
+	var idx []int
+	for i := 0; i < 100; i++ {
+		idx = append(idx, d.AddCell(netlist.Cell{
+			W: 2, H: 2, X: rng.Float64() * 200, Y: rng.Float64() * 200,
+		}))
+	}
+	// A ring of fixed pads.
+	var pads []int
+	for i := 0; i < 12; i++ {
+		ang := 2 * math.Pi * float64(i) / 12
+		pads = append(pads, d.AddCell(netlist.Cell{
+			W: 1, H: 1, X: 100 + 99*math.Cos(ang), Y: 100 + 99*math.Sin(ang),
+			Fixed: true, Kind: netlist.Pad,
+		}))
+	}
+	for k := 0; k < 150; k++ {
+		ni := d.AddNet("", 1)
+		deg := 2 + rng.Intn(3)
+		for p := 0; p < deg; p++ {
+			d.Connect(idx[rng.Intn(len(idx))], ni, 0, 0)
+		}
+		if rng.Intn(4) == 0 {
+			d.Connect(pads[rng.Intn(len(pads))], ni, 0, 0)
+		}
+	}
+	before := d.HPWL()
+	Place(d, idx, Options{})
+	after := d.HPWL()
+	if after >= 0.5*before {
+		t.Errorf("quadratic placement HPWL %v not well below random %v", after, before)
+	}
+	// All cells inside the region.
+	for _, ci := range idx {
+		r := d.Cells[ci].Rect()
+		if !d.Region.ContainsRect(r) {
+			t.Errorf("cell %d at %v escapes region", ci, r)
+		}
+	}
+}
+
+func TestPinOffsetsRespected(t *testing.T) {
+	// Two cells joined by pins with opposite offsets: quadratic optimum
+	// aligns the pins, so centers differ by the offset difference.
+	d := netlist.New("off", geom.Rect{Hx: 100, Hy: 100})
+	a := d.AddCell(netlist.Cell{W: 4, H: 2})
+	pad := d.AddCell(netlist.Cell{W: 1, H: 1, X: 50, Y: 50, Fixed: true, Kind: netlist.Pad})
+	ni := d.AddNet("", 1)
+	d.Connect(a, ni, 2, 0) // pin on the right edge of a
+	d.Connect(pad, ni, 0, 0)
+	Place(d, []int{a}, Options{})
+	// Pin (a.X + 2) should coincide with pad at 50 => a.X ~ 48.
+	if math.Abs(d.Cells[a].X-48) > 0.5 {
+		t.Errorf("a.X = %v, want ~48", d.Cells[a].X)
+	}
+}
+
+func TestNoFixedConnectivityStaysInRegion(t *testing.T) {
+	// A floating clique with no pads must not blow up (anchors keep the
+	// system nonsingular) and must stay inside the region.
+	d := netlist.New("float", geom.Rect{Hx: 50, Hy: 50})
+	var idx []int
+	for i := 0; i < 5; i++ {
+		idx = append(idx, d.AddCell(netlist.Cell{W: 2, H: 2}))
+	}
+	ni := d.AddNet("clique", 1)
+	for _, ci := range idx {
+		d.Connect(ci, ni, 0, 0)
+	}
+	Place(d, idx, Options{})
+	for _, ci := range idx {
+		c := &d.Cells[ci]
+		if math.IsNaN(c.X) || math.IsNaN(c.Y) {
+			t.Fatalf("cell %d at NaN", ci)
+		}
+		if !d.Region.ContainsRect(c.Rect()) {
+			t.Errorf("cell %d escapes region: %v", ci, c.Rect())
+		}
+	}
+}
+
+func TestEmptyMovableIsNoop(t *testing.T) {
+	d := netlist.New("e", geom.Rect{Hx: 10, Hy: 10})
+	d.AddCell(netlist.Cell{W: 1, H: 1, X: 5, Y: 5, Fixed: true})
+	Place(d, nil, Options{}) // must not panic
+}
+
+func TestMixedSizeMacroAndCells(t *testing.T) {
+	// A macro and std cells sharing nets: everything participates in
+	// exactly the same way (the ePlace equalization property).
+	d := netlist.New("mix", geom.Rect{Hx: 100, Hy: 100})
+	mac := d.AddCell(netlist.Cell{W: 30, H: 30, Kind: netlist.Macro})
+	var cells []int
+	for i := 0; i < 10; i++ {
+		cells = append(cells, d.AddCell(netlist.Cell{W: 2, H: 2}))
+	}
+	pad := d.AddCell(netlist.Cell{W: 1, H: 1, X: 95, Y: 50, Fixed: true, Kind: netlist.Pad})
+	for _, ci := range cells {
+		ni := d.AddNet("", 1)
+		d.Connect(mac, ni, 0, 0)
+		d.Connect(ci, ni, 0, 0)
+	}
+	ni := d.AddNet("", 1)
+	d.Connect(mac, ni, 0, 0)
+	d.Connect(pad, ni, 0, 0)
+	idx := append([]int{mac}, cells...)
+	Place(d, idx, Options{})
+	if !d.Region.ContainsRect(d.Cells[mac].Rect()) {
+		t.Errorf("macro escapes region: %v", d.Cells[mac].Rect())
+	}
+	// Macro pulled toward the pad side.
+	if d.Cells[mac].X < 50 {
+		t.Errorf("macro at x=%v, want pulled toward pad at 95", d.Cells[mac].X)
+	}
+}
+
+func BenchmarkPlace2000(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	d := netlist.New("bench", geom.Rect{Hx: 500, Hy: 500})
+	var idx []int
+	for i := 0; i < 2000; i++ {
+		idx = append(idx, d.AddCell(netlist.Cell{W: 2, H: 2}))
+	}
+	for i := 0; i < 16; i++ {
+		p := d.AddCell(netlist.Cell{W: 1, H: 1, X: float64(i) * 30, Y: 0, Fixed: true, Kind: netlist.Pad})
+		ni := d.AddNet("", 1)
+		d.Connect(p, ni, 0, 0)
+		d.Connect(idx[rng.Intn(len(idx))], ni, 0, 0)
+	}
+	for k := 0; k < 3000; k++ {
+		ni := d.AddNet("", 1)
+		deg := 2 + rng.Intn(3)
+		for p := 0; p < deg; p++ {
+			d.Connect(idx[rng.Intn(len(idx))], ni, 0, 0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Place(d, idx, Options{})
+	}
+}

@@ -1,0 +1,219 @@
+// Package sparse provides the minimal sparse linear algebra needed by
+// the quadratic placement stages: symmetric positive-definite matrices
+// in compressed sparse row form assembled from triplets, and a
+// Jacobi-preconditioned conjugate gradient solver.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates (row, col, value) triplets; duplicates sum.
+type Builder struct {
+	n    int
+	rows []int32
+	cols []int32
+	vals []float64
+}
+
+// NewBuilder creates a builder for an n x n matrix.
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// Add accumulates a(i, j) += v.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("sparse: index (%d, %d) out of range for n=%d", i, j, b.n))
+	}
+	if v == 0 {
+		return
+	}
+	b.rows = append(b.rows, int32(i))
+	b.cols = append(b.cols, int32(j))
+	b.vals = append(b.vals, v)
+}
+
+// AddSym accumulates the symmetric stamp of a spring between i and j
+// with weight w: a(i,i)+=w, a(j,j)+=w, a(i,j)-=w, a(j,i)-=w.
+func (b *Builder) AddSym(i, j int, w float64) {
+	b.Add(i, i, w)
+	b.Add(j, j, w)
+	b.Add(i, j, -w)
+	b.Add(j, i, -w)
+}
+
+// AddDiag accumulates a(i,i) += w (an anchor to a fixed location).
+func (b *Builder) AddDiag(i int, w float64) { b.Add(i, i, w) }
+
+// Build assembles the CSR matrix, merging duplicate entries.
+func (b *Builder) Build() *CSR {
+	m := len(b.vals)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, c int) bool {
+		ia, ic := order[a], order[c]
+		if b.rows[ia] != b.rows[ic] {
+			return b.rows[ia] < b.rows[ic]
+		}
+		return b.cols[ia] < b.cols[ic]
+	})
+	csr := &CSR{N: b.n, RowPtr: make([]int, b.n+1)}
+	lastR, lastC := int32(-1), int32(-1)
+	for _, k := range order {
+		r, c, v := b.rows[k], b.cols[k], b.vals[k]
+		if r == lastR && c == lastC {
+			csr.Val[len(csr.Val)-1] += v
+			continue
+		}
+		csr.Col = append(csr.Col, int(c))
+		csr.Val = append(csr.Val, v)
+		csr.RowPtr[r+1]++
+		lastR, lastC = r, c
+	}
+	for i := 0; i < b.n; i++ {
+		csr.RowPtr[i+1] += csr.RowPtr[i]
+	}
+	return csr
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	N      int
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// MulVec computes y = A x.
+func (a *CSR) MulVec(x, y []float64) {
+	if len(x) != a.N || len(y) != a.N {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < a.N; i++ {
+		s := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag extracts the diagonal into d.
+func (a *CSR) Diag(d []float64) {
+	if len(d) != a.N {
+		panic("sparse: Diag dimension mismatch")
+	}
+	for i := 0; i < a.N; i++ {
+		d[i] = 0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.Col[k] == i {
+				d[i] = a.Val[k]
+				break
+			}
+		}
+	}
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// CGResult reports a conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final ||r|| / ||b||
+	Converged  bool
+}
+
+// CG solves A x = b for symmetric positive-definite A using conjugate
+// gradient with Jacobi (diagonal) preconditioning. x holds the initial
+// guess on entry and the solution on return.
+func CG(a *CSR, b, x []float64, tol float64, maxIter int) CGResult {
+	n := a.N
+	if len(b) != n || len(x) != n {
+		panic("sparse: CG dimension mismatch")
+	}
+	if maxIter <= 0 {
+		maxIter = 2 * n
+	}
+	inv := make([]float64, n)
+	a.Diag(inv)
+	for i := range inv {
+		if inv[i] > 0 {
+			inv[i] = 1 / inv[i]
+		} else {
+			inv[i] = 1
+		}
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	a.MulVec(x, r)
+	normB := 0.0
+	for i := 0; i < n; i++ {
+		r[i] = b[i] - r[i]
+		normB += b[i] * b[i]
+	}
+	normB = math.Sqrt(normB)
+	if normB == 0 {
+		normB = 1
+	}
+	rz := 0.0
+	for i := 0; i < n; i++ {
+		z[i] = inv[i] * r[i]
+		p[i] = z[i]
+		rz += r[i] * z[i]
+	}
+	res := CGResult{}
+	for it := 0; it < maxIter; it++ {
+		normR := 0.0
+		for i := 0; i < n; i++ {
+			normR += r[i] * r[i]
+		}
+		normR = math.Sqrt(normR)
+		res.Iterations = it
+		res.Residual = normR / normB
+		if res.Residual <= tol {
+			res.Converged = true
+			return res
+		}
+		a.MulVec(p, ap)
+		pap := 0.0
+		for i := 0; i < n; i++ {
+			pap += p[i] * ap[i]
+		}
+		if pap <= 0 {
+			// Not positive definite along p; bail out with best effort.
+			return res
+		}
+		alpha := rz / pap
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rzNew := 0.0
+		for i := 0; i < n; i++ {
+			z[i] = inv[i] * r[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	// Final residual.
+	a.MulVec(x, ap)
+	normR := 0.0
+	for i := 0; i < n; i++ {
+		d := b[i] - ap[i]
+		normR += d * d
+	}
+	res.Iterations = maxIter
+	res.Residual = math.Sqrt(normR) / normB
+	res.Converged = res.Residual <= tol
+	return res
+}

@@ -1,0 +1,211 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 1, 2)
+	b.Add(0, 1, 3)
+	b.Add(2, 2, 1)
+	a := b.Build()
+	if a.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", a.NNZ())
+	}
+	x := []float64{0, 1, 0}
+	y := make([]float64, 3)
+	a.MulVec(x, y)
+	if y[0] != 5 {
+		t.Errorf("merged entry = %v, want 5", y[0])
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of range did not panic")
+		}
+	}()
+	b.Add(2, 0, 1)
+}
+
+func TestAddSymProducesLaplacian(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddSym(0, 1, 2)
+	b.AddSym(1, 2, 3)
+	a := b.Build()
+	want := [3][3]float64{{2, -2, 0}, {-2, 5, -3}, {0, -3, 3}}
+	for i := 0; i < 3; i++ {
+		e := make([]float64, 3)
+		e[i] = 1
+		row := make([]float64, 3)
+		a.MulVec(e, row)
+		for j := 0; j < 3; j++ {
+			if math.Abs(row[j]-want[j][i]) > 1e-12 {
+				t.Errorf("a[%d][%d] = %v, want %v", j, i, row[j], want[j][i])
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddSym(0, 1, 2)
+	b.AddDiag(2, 7)
+	a := b.Build()
+	d := make([]float64, 3)
+	a.Diag(d)
+	if d[0] != 2 || d[1] != 2 || d[2] != 7 {
+		t.Errorf("Diag = %v", d)
+	}
+}
+
+func TestCGSolvesIdentity(t *testing.T) {
+	n := 10
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddDiag(i, 1)
+	}
+	a := b.Build()
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i)
+	}
+	x := make([]float64, n)
+	res := CG(a, rhs, x, 1e-12, 100)
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	for i := range x {
+		if math.Abs(x[i]-rhs[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], rhs[i])
+		}
+	}
+}
+
+func TestCGSolvesAnchoredLaplacian(t *testing.T) {
+	// Chain 0-1-2-...-9 with both ends anchored: a standard placement
+	// system. Anchors at value 0 and 9 with strong weight; interior
+	// should approach linear interpolation.
+	n := 10
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddSym(i, i+1, 1)
+	}
+	const anchor = 1e6
+	b.AddDiag(0, anchor)
+	b.AddDiag(n-1, anchor)
+	a := b.Build()
+	rhs := make([]float64, n)
+	rhs[0] = anchor * 0
+	rhs[n-1] = anchor * 9
+	x := make([]float64, n)
+	res := CG(a, rhs, x, 1e-10, 1000)
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(x[i]-float64(i)) > 1e-3 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], float64(i))
+		}
+	}
+}
+
+func TestCGRandomSPD(t *testing.T) {
+	// Random diagonally-dominant symmetric system; verify A x = b.
+	rng := rand.New(rand.NewSource(3))
+	n := 50
+	b := NewBuilder(n)
+	for k := 0; k < 200; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			b.AddSym(i, j, rng.Float64())
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.AddDiag(i, 1+rng.Float64())
+	}
+	a := b.Build()
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res := CG(a, rhs, x, 1e-10, 5000)
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	y := make([]float64, n)
+	a.MulVec(x, y)
+	for i := range y {
+		if math.Abs(y[i]-rhs[i]) > 1e-7 {
+			t.Errorf("residual at %d: %v", i, y[i]-rhs[i])
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	b := NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.AddDiag(i, 2)
+	}
+	a := b.Build()
+	x := []float64{1, 2, 3, 4}
+	res := CG(a, make([]float64, 4), x, 1e-10, 100)
+	if !res.Converged {
+		t.Fatalf("CG on zero rhs: %+v", res)
+	}
+	for i := range x {
+		if math.Abs(x[i]) > 1e-8 {
+			t.Errorf("x[%d] = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	// Starting at the exact solution must converge immediately.
+	n := 5
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddDiag(i, 3)
+	}
+	a := b.Build()
+	rhs := []float64{3, 6, 9, 12, 15}
+	x := []float64{1, 2, 3, 4, 5}
+	res := CG(a, rhs, x, 1e-10, 100)
+	if res.Iterations != 0 || !res.Converged {
+		t.Errorf("warm start took %d iterations", res.Iterations)
+	}
+}
+
+func TestMulVecDimensionPanic(t *testing.T) {
+	a := NewBuilder(3).Build()
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec mismatched dims did not panic")
+		}
+	}()
+	a.MulVec(make([]float64, 2), make([]float64, 3))
+}
+
+func BenchmarkCGChain1000(b *testing.B) {
+	n := 1000
+	bu := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		bu.AddSym(i, i+1, 1)
+	}
+	bu.AddDiag(0, 1e6)
+	bu.AddDiag(n-1, 1e6)
+	a := bu.Build()
+	rhs := make([]float64, n)
+	rhs[n-1] = 1e6 * float64(n-1)
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		x := make([]float64, n)
+		CG(a, rhs, x, 1e-8, 10000)
+	}
+}

@@ -1,0 +1,110 @@
+package synth
+
+// The suites below mirror the structure of the paper's three benchmark
+// sets at ~100x reduced cell counts (see DESIGN.md, Substitutions):
+// relative circuit sizes, macro counts and the ISPD 2006 target
+// densities follow the originals (Tables I-III).
+
+// ISPD05Suite returns the eight ISPD 2005 analogs: standard cells plus
+// fixed blocks, target density 1.0.
+func ISPD05Suite(scale float64) []Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := func(name string, cells, fixedMacros int) Spec {
+		return Spec{
+			Name:           name,
+			NumCells:       int(float64(cells) * scale),
+			NumFixedMacros: fixedMacros,
+			TargetDensity:  1.0,
+		}
+	}
+	// Cell counts proportional to the paper's 211K..2177K.
+	return []Spec{
+		s("ADAPTEC1", 2110, 8),
+		s("ADAPTEC2", 2550, 10),
+		s("ADAPTEC3", 4520, 8),
+		s("ADAPTEC4", 4960, 9),
+		s("BIGBLUE1", 2780, 6),
+		s("BIGBLUE2", 5580, 12),
+		s("BIGBLUE3", 10970, 10),
+		s("BIGBLUE4", 21770, 12),
+	}
+}
+
+// ISPD06Suite returns the eight ISPD 2006 analogs with the contest's
+// benchmark-specific target densities (Table II).
+func ISPD06Suite(scale float64) []Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := func(name string, cells int, rhoT float64) Spec {
+		return Spec{
+			Name:           name,
+			NumCells:       int(float64(cells) * scale),
+			NumFixedMacros: 8,
+			TargetDensity:  rhoT,
+			Utilization:    0.45, // ISPD06 designs have ample whitespace
+		}
+	}
+	return []Spec{
+		s("ADAPTEC5", 8430, 0.5),
+		s("NEWBLUE1", 3300, 0.8),
+		s("NEWBLUE2", 4420, 0.9),
+		s("NEWBLUE3", 4940, 0.8),
+		s("NEWBLUE4", 6460, 0.5),
+		s("NEWBLUE5", 12330, 0.5),
+		s("NEWBLUE6", 12550, 0.8),
+		s("NEWBLUE7", 25080, 0.8),
+	}
+}
+
+// MMSSuite returns the sixteen MMS analogs: the same netlists with
+// macros freed (movable) and fixed IO pads (Table III).
+func MMSSuite(scale float64) []Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := func(name string, cells, paperMacros int, rhoT float64) Spec {
+		// Macro counts follow the paper's (63..3748), scaled with the
+		// suite and clamped so the annealer stays tractable.
+		m := int(float64(paperMacros) * scale)
+		if m < 4 {
+			m = 4
+		}
+		if m > 64 {
+			m = 64
+		}
+		// Utilization must leave headroom under the density target, as
+		// the real low-rho_t circuits do (they are whitespace-rich).
+		util := 0.55
+		if util > rhoT-0.1 {
+			util = rhoT - 0.1
+		}
+		return Spec{
+			Name:             name,
+			NumCells:         int(float64(cells) * scale),
+			NumMovableMacros: m,
+			TargetDensity:    rhoT,
+			Utilization:      util,
+		}
+	}
+	return []Spec{
+		s("ADAPTEC1", 2110, 63, 1.0),
+		s("ADAPTEC2", 2550, 127, 1.0),
+		s("ADAPTEC3", 4520, 58, 1.0),
+		s("ADAPTEC4", 4960, 69, 1.0),
+		s("BIGBLUE1", 2780, 32, 1.0),
+		s("BIGBLUE2", 5580, 959, 1.0),
+		s("BIGBLUE3", 10970, 2549, 1.0),
+		s("BIGBLUE4", 21770, 199, 1.0),
+		s("ADAPTEC5", 8430, 76, 0.5),
+		s("NEWBLUE1", 3300, 64, 0.8),
+		s("NEWBLUE2", 4420, 3748, 0.9),
+		s("NEWBLUE3", 4940, 51, 0.8),
+		s("NEWBLUE4", 6460, 81, 0.5),
+		s("NEWBLUE5", 12330, 91, 0.5),
+		s("NEWBLUE6", 12550, 74, 0.8),
+		s("NEWBLUE7", 25080, 161, 0.8),
+	}
+}

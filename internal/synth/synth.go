@@ -1,0 +1,331 @@
+// Package synth generates deterministic synthetic placement benchmarks
+// that stand in for the proprietary ISPD 2005 / ISPD 2006 / MMS suites
+// (see DESIGN.md, Substitutions). Circuits have clustered Rent-style
+// connectivity, realistic cell-size distributions, boundary IO pads,
+// optional fixed blocks (ISPD-style) or movable macros (MMS-style), and
+// benchmark-specific target densities. Everything is seeded: the same
+// Spec always yields the same circuit.
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"eplace/internal/geom"
+	"eplace/internal/netlist"
+)
+
+// Spec describes one synthetic circuit.
+type Spec struct {
+	Name string
+	// NumCells is the number of movable standard cells.
+	NumCells int
+	// NumMovableMacros adds MMS-style movable macros.
+	NumMovableMacros int
+	// NumFixedMacros adds ISPD-style fixed blocks.
+	NumFixedMacros int
+	// NumPads is the number of fixed boundary IO pads (default 32).
+	NumPads int
+	// TargetDensity is the benchmark rho_t (default 1.0).
+	TargetDensity float64
+	// Utilization is movable area / free area (default 0.7).
+	Utilization float64
+	// MacroAreaFrac is the fraction of movable area inside movable
+	// macros (default 0.25 when NumMovableMacros > 0).
+	MacroAreaFrac float64
+	// RowHeight is the standard-cell height (default 2).
+	RowHeight float64
+	// Seed drives all randomness (default: hash of Name).
+	Seed int64
+}
+
+func (s *Spec) defaults() {
+	if s.NumPads == 0 {
+		s.NumPads = 32
+	}
+	if s.TargetDensity == 0 {
+		s.TargetDensity = 1.0
+	}
+	if s.Utilization == 0 {
+		s.Utilization = 0.7
+	}
+	if s.MacroAreaFrac == 0 && s.NumMovableMacros > 0 {
+		s.MacroAreaFrac = 0.25
+	}
+	if s.RowHeight == 0 {
+		s.RowHeight = 2
+	}
+	if s.Seed == 0 {
+		s.Seed = int64(1)
+		for _, r := range s.Name {
+			s.Seed = s.Seed*131 + int64(r)
+		}
+	}
+}
+
+// Generate builds the circuit for spec. The layout is a random spread
+// (callers run mIP to get the real starting point).
+func Generate(spec Spec) *netlist.Design {
+	spec.defaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Cell dimensions: integral site widths with a decaying distribution
+	// (sites are 1 unit; rows snap to them).
+	h := spec.RowHeight
+	widths := make([]float64, spec.NumCells)
+	cellArea := 0.0
+	for i := range widths {
+		w := math.Round(h * (1 + rng.ExpFloat64()*0.8))
+		if w < 1 {
+			w = 1
+		}
+		if w > 5*h {
+			w = 5 * h
+		}
+		widths[i] = w
+		cellArea += w * h
+	}
+
+	// Movable macro sizes.
+	macroArea := 0.0
+	type msize struct{ w, h float64 }
+	var msizes []msize
+	if spec.NumMovableMacros > 0 {
+		want := cellArea * spec.MacroAreaFrac / (1 - spec.MacroAreaFrac)
+		per := want / float64(spec.NumMovableMacros)
+		for i := 0; i < spec.NumMovableMacros; i++ {
+			aspect := 0.5 + rng.Float64()*1.5
+			a := per * (0.5 + rng.Float64())
+			mw := math.Sqrt(a * aspect)
+			mh := a / mw
+			// Snap macro height to a row multiple for realism.
+			mh = math.Max(h*2, math.Round(mh/h)*h)
+			msizes = append(msizes, msize{mw, mh})
+			macroArea += mw * mh
+		}
+	}
+
+	// Fixed blocks sized relative to the movable area.
+	fixedArea := 0.0
+	var fsizes []msize
+	for i := 0; i < spec.NumFixedMacros; i++ {
+		a := (cellArea + macroArea) * (0.01 + rng.Float64()*0.03)
+		aspect := 0.6 + rng.Float64()
+		fw := math.Sqrt(a * aspect)
+		fh := a / fw
+		fsizes = append(fsizes, msize{fw, fh})
+		fixedArea += fw * fh
+	}
+
+	movable := cellArea + macroArea
+	side := math.Sqrt(movable/spec.Utilization + fixedArea)
+	// Round up to an integral number of rows.
+	rows := int(math.Ceil(side / h))
+	side = float64(rows) * h
+	d := netlist.New(spec.Name, geom.Rect{Hx: side, Hy: side})
+	d.TargetDensity = spec.TargetDensity
+	for r := 0; r < rows; r++ {
+		d.Rows = append(d.Rows, netlist.Row{
+			Y: float64(r) * h, Height: h, Lx: 0, Hx: side, SiteW: 1,
+		})
+	}
+
+	// Fixed blocks on a jittered diagonal-ish grid, non-overlapping by
+	// construction (placed in distinct grid slots).
+	if len(fsizes) > 0 {
+		slots := int(math.Ceil(math.Sqrt(float64(len(fsizes)))))
+		pitch := side / float64(slots+1)
+		k := 0
+		for gy := 0; gy < slots && k < len(fsizes); gy++ {
+			for gx := 0; gx < slots && k < len(fsizes); gx++ {
+				fs := fsizes[k]
+				cx := pitch * (float64(gx) + 1)
+				cy := pitch * (float64(gy) + 1)
+				p := geom.ClampPoint(geom.Point{X: cx, Y: cy}, fs.w, fs.h, d.Region)
+				d.AddCell(netlist.Cell{
+					Name: "FIXED" + itoa(k), W: fs.w, H: fs.h, X: p.X, Y: p.Y,
+					Kind: netlist.Macro, Fixed: true,
+				})
+				k++
+			}
+		}
+	}
+
+	// Movable standard cells at random positions.
+	cells := make([]int, spec.NumCells)
+	for i := 0; i < spec.NumCells; i++ {
+		w := widths[i]
+		cells[i] = d.AddCell(netlist.Cell{
+			Name: "o" + itoa(i), W: w, H: h,
+			X: w/2 + rng.Float64()*(side-w),
+			Y: h/2 + rng.Float64()*(side-h),
+		})
+	}
+
+	// Movable macros at random positions.
+	macros := make([]int, 0, len(msizes))
+	for k, ms := range msizes {
+		macros = append(macros, d.AddCell(netlist.Cell{
+			Name: "MACRO" + itoa(k), W: ms.w, H: ms.h,
+			X:    ms.w/2 + rng.Float64()*(side-ms.w),
+			Y:    ms.h/2 + rng.Float64()*(side-ms.h),
+			Kind: netlist.Macro,
+		}))
+	}
+
+	// IO pads around the periphery.
+	pads := make([]int, 0, spec.NumPads)
+	for i := 0; i < spec.NumPads; i++ {
+		t := float64(i) / float64(spec.NumPads)
+		var x, y float64
+		switch {
+		case t < 0.25:
+			x, y = side*4*t, 0.5
+		case t < 0.5:
+			x, y = side-0.5, side*4*(t-0.25)
+		case t < 0.75:
+			x, y = side*(1-4*(t-0.5)), side-0.5
+		default:
+			x, y = 0.5, side*(1-4*(t-0.75))
+		}
+		// Align pad edges to the site grid so row segments keep integral
+		// boundaries.
+		x = math.Floor(geom.Clamp(x, 0.5, side-0.5)) + 0.5
+		y = math.Floor(geom.Clamp(y, 0.5, side-0.5)) + 0.5
+		x = geom.Clamp(x, 0.5, side-0.5)
+		y = geom.Clamp(y, 0.5, side-0.5)
+		pads = append(pads, d.AddCell(netlist.Cell{
+			Name: "PAD" + itoa(i), W: 1, H: 1, X: x, Y: y,
+			Kind: netlist.Pad, Fixed: true,
+		}))
+	}
+
+	buildNets(d, rng, cells, macros, pads)
+	return d
+}
+
+// buildNets creates clustered connectivity: dense local nets inside
+// clusters of ~12 cells, sparser nets between nearby clusters, a few
+// global nets, macro fan-in/out, and pad nets. Net degrees follow the
+// heavy-two-pin distribution of real netlists.
+func buildNets(d *netlist.Design, rng *rand.Rand, cells, macros, pads []int) {
+	n := len(cells)
+	if n == 0 {
+		return
+	}
+	const clusterSize = 12
+	numClusters := (n + clusterSize - 1) / clusterSize
+	clusterOf := func(i int) int { return i / clusterSize }
+	_ = clusterOf
+	pick := func(cluster int) int {
+		base := cluster * clusterSize
+		size := clusterSize
+		if base+size > n {
+			size = n - base
+		}
+		return cells[base+rng.Intn(size)]
+	}
+	degree := func() int {
+		// ~60% 2-pin, 20% 3-pin, rest 4..8.
+		r := rng.Float64()
+		switch {
+		case r < 0.60:
+			return 2
+		case r < 0.80:
+			return 3
+		default:
+			return 4 + rng.Intn(5)
+		}
+	}
+	addNet := func(members []int) {
+		if len(members) < 2 {
+			return
+		}
+		ni := d.AddNet("", 1)
+		for k, ci := range members {
+			c := &d.Cells[ci]
+			ox := (rng.Float64() - 0.5) * c.W * 0.8
+			oy := (rng.Float64() - 0.5) * c.H * 0.8
+			pi := d.Connect(ci, ni, ox, oy)
+			// First member drives the net; the rest are sinks (used by
+			// the timing extension).
+			if k == 0 {
+				d.Pins[pi].Dir = netlist.DirOut
+			} else {
+				d.Pins[pi].Dir = netlist.DirIn
+			}
+		}
+	}
+
+	// Intra-cluster nets: ~1.2 per cell.
+	intra := n * 12 / 10
+	for k := 0; k < intra; k++ {
+		c := rng.Intn(numClusters)
+		deg := degree()
+		members := make([]int, 0, deg)
+		for p := 0; p < deg; p++ {
+			members = append(members, pick(c))
+		}
+		addNet(uniq(members))
+	}
+	// Neighbor-cluster nets: ~0.3 per cell.
+	inter := n * 3 / 10
+	for k := 0; k < inter; k++ {
+		c1 := rng.Intn(numClusters)
+		c2 := c1 + 1 + rng.Intn(3)
+		if c2 >= numClusters {
+			c2 = rng.Intn(numClusters)
+		}
+		addNet(uniq([]int{pick(c1), pick(c2), pick(c1)}))
+	}
+	// Global nets: ~0.05 per cell, higher degree.
+	global := n / 20
+	for k := 0; k < global; k++ {
+		deg := 3 + rng.Intn(6)
+		members := make([]int, 0, deg)
+		for p := 0; p < deg; p++ {
+			members = append(members, cells[rng.Intn(n)])
+		}
+		addNet(uniq(members))
+	}
+	// Macro nets: each macro talks to ~8 random cells over several nets.
+	for _, mi := range macros {
+		for k := 0; k < 4; k++ {
+			members := []int{mi}
+			for p := 0; p < 2; p++ {
+				members = append(members, cells[rng.Intn(n)])
+			}
+			addNet(uniq(members))
+		}
+	}
+	// Pad nets.
+	for _, pi := range pads {
+		addNet([]int{pi, cells[rng.Intn(n)]})
+	}
+}
+
+func uniq(in []int) []int {
+	seen := map[int]bool{}
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,336 @@
+// Package timing implements the paper's "extension towards other design
+// objectives like timing" (Sec. VIII): a lightweight static timing
+// analyzer over the placed netlist and criticality-driven net
+// reweighting for timing-driven placement.
+//
+// The delay model is deliberately simple and placement-driven: a net's
+// delay from its driver to a sink is proportional to their Manhattan
+// pin distance (a linearized Elmore model), and every cell adds a
+// constant gate delay. Combinational loops are broken deterministically
+// by discarding the back edge that closes each cycle. Arrival and
+// required times propagate over the resulting DAG; slack and per-net
+// criticality follow, and TimingWeights turns criticality into net
+// weights the wirelength models consume directly.
+package timing
+
+import (
+	"math"
+
+	"eplace/internal/netlist"
+)
+
+// Options tunes the analyzer.
+type Options struct {
+	// GateDelay is the fixed delay added by every cell (default 1).
+	GateDelay float64
+	// WireDelayPerUnit converts Manhattan distance to delay (default 1).
+	WireDelayPerUnit float64
+}
+
+func (o *Options) defaults() {
+	if o.GateDelay <= 0 {
+		o.GateDelay = 1
+	}
+	if o.WireDelayPerUnit <= 0 {
+		o.WireDelayPerUnit = 1
+	}
+}
+
+// Graph is the timing DAG extracted from a design. Endpoints are cells
+// with no fanout (plus pads); startpoints are cells with no fanin (plus
+// pads).
+type Graph struct {
+	d   *netlist.Design
+	opt Options
+
+	// edges[ci] lists fanout arcs of cell ci.
+	edges [][]arc
+	// fanin[ci] counts fanin arcs (for topological order).
+	fanin []int
+	// order is a topological order of all cells; pos is its inverse.
+	// Arcs going backward in this order are the dropped cycle-breaking
+	// edges and are excluded from analysis.
+	order []int
+	pos   []int
+
+	// Arrival and Required times per cell; Slack[ci] = Required - Arrival.
+	Arrival  []float64
+	Required []float64
+	// NetCriticality in [0, 1]: 1 = on the most critical path.
+	NetCriticality []float64
+	// WorstArrival is the critical path delay (the clock period bound).
+	WorstArrival float64
+	// DroppedEdges counts arcs discarded to break combinational cycles.
+	DroppedEdges int
+}
+
+// arc is a driver-to-sink timing edge through net net.
+type arc struct {
+	to  int
+	net int
+}
+
+// Build extracts the timing graph using pin directions: each net's
+// DirOut pin drives its DirIn pins. Nets without direction information
+// use their first pin as the driver.
+func Build(d *netlist.Design, opt Options) *Graph {
+	opt.defaults()
+	g := &Graph{
+		d:              d,
+		opt:            opt,
+		edges:          make([][]arc, len(d.Cells)),
+		fanin:          make([]int, len(d.Cells)),
+		Arrival:        make([]float64, len(d.Cells)),
+		Required:       make([]float64, len(d.Cells)),
+		NetCriticality: make([]float64, len(d.Nets)),
+	}
+	for ni := range d.Nets {
+		driver, sinks := netPins(d, ni)
+		if driver < 0 || len(sinks) == 0 {
+			continue
+		}
+		dc := d.Pins[driver].Cell
+		if dc < 0 {
+			continue
+		}
+		for _, si := range sinks {
+			sc := d.Pins[si].Cell
+			if sc < 0 || sc == dc {
+				continue
+			}
+			g.edges[dc] = append(g.edges[dc], arc{to: sc, net: ni})
+			g.fanin[sc]++
+		}
+	}
+	g.topoSort()
+	g.pos = make([]int, len(d.Cells))
+	for k, ci := range g.order {
+		g.pos[ci] = k
+	}
+	return g
+}
+
+// netPins classifies a net's pins into one driver and its sinks.
+func netPins(d *netlist.Design, ni int) (driver int, sinks []int) {
+	driver = -1
+	net := &d.Nets[ni]
+	for _, pi := range net.Pins {
+		switch d.Pins[pi].Dir {
+		case netlist.DirOut:
+			if driver < 0 {
+				driver = pi
+			}
+		case netlist.DirIn:
+			sinks = append(sinks, pi)
+		}
+	}
+	if driver >= 0 && len(sinks) > 0 {
+		return driver, sinks
+	}
+	// No direction info: first pin drives the rest.
+	if len(net.Pins) < 2 {
+		return -1, nil
+	}
+	driver = net.Pins[0]
+	sinks = append([]int(nil), net.Pins[1:]...)
+	return driver, sinks
+}
+
+// topoSort orders the cells, dropping one back arc per cycle found.
+func (g *Graph) topoSort() {
+	n := len(g.d.Cells)
+	fanin := append([]int(nil), g.fanin...)
+	queue := make([]int, 0, n)
+	for ci := 0; ci < n; ci++ {
+		if fanin[ci] == 0 {
+			queue = append(queue, ci)
+		}
+	}
+	g.order = g.order[:0]
+	seen := make([]bool, n)
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		seen[ci] = true
+		g.order = append(g.order, ci)
+		for _, a := range g.edges[ci] {
+			fanin[a.to]--
+			if fanin[a.to] == 0 {
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	if len(g.order) < n {
+		// Cycles remain: break them by dropping the arc with the lowest
+		// (from, to) among unprocessed cells, repeatedly.
+		for len(g.order) < n {
+			// Find an unseen cell with minimal remaining fanin and force it.
+			best := -1
+			for ci := 0; ci < n; ci++ {
+				if !seen[ci] && (best < 0 || fanin[ci] < fanin[best]) {
+					best = ci
+				}
+			}
+			g.DroppedEdges += fanin[best]
+			fanin[best] = 0
+			seen[best] = true
+			g.order = append(g.order, best)
+			for _, a := range g.edges[best] {
+				if !seen[a.to] {
+					fanin[a.to]--
+					if fanin[a.to] == 0 {
+						// Will be picked up in a later sweep iteration.
+						queue = append(queue, a.to)
+					}
+				}
+			}
+			for len(queue) > 0 {
+				ci := queue[0]
+				queue = queue[1:]
+				if seen[ci] {
+					continue
+				}
+				seen[ci] = true
+				g.order = append(g.order, ci)
+				for _, a := range g.edges[ci] {
+					if !seen[a.to] {
+						fanin[a.to]--
+						if fanin[a.to] == 0 {
+							queue = append(queue, a.to)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// arcDelay returns the delay of one driver->sink arc at current
+// positions: gate delay plus distance-proportional wire delay.
+func (g *Graph) arcDelay(from, to int) float64 {
+	d := g.d
+	cf, ct := &d.Cells[from], &d.Cells[to]
+	dist := math.Abs(cf.X-ct.X) + math.Abs(cf.Y-ct.Y)
+	return g.opt.GateDelay + g.opt.WireDelayPerUnit*dist
+}
+
+// Analyze propagates arrival and required times at the current cell
+// positions and fills Slack and NetCriticality. Call again after any
+// movement.
+func (g *Graph) Analyze() {
+	n := len(g.d.Cells)
+	for i := 0; i < n; i++ {
+		g.Arrival[i] = 0
+	}
+	// Forward: arrival times in topological order. Arcs that point
+	// backward in the order are the edges dropped to break cycles and
+	// are skipped so arrival/required stay consistent.
+	for _, ci := range g.order {
+		for _, a := range g.edges[ci] {
+			if g.pos[a.to] <= g.pos[ci] {
+				continue
+			}
+			if t := g.Arrival[ci] + g.arcDelay(ci, a.to); t > g.Arrival[a.to] {
+				g.Arrival[a.to] = t
+			}
+		}
+	}
+	g.WorstArrival = 0
+	for i := 0; i < n; i++ {
+		if g.Arrival[i] > g.WorstArrival {
+			g.WorstArrival = g.Arrival[i]
+		}
+	}
+	// Backward: required times from the worst arrival.
+	for i := 0; i < n; i++ {
+		g.Required[i] = g.WorstArrival
+	}
+	for k := len(g.order) - 1; k >= 0; k-- {
+		ci := g.order[k]
+		for _, a := range g.edges[ci] {
+			if g.pos[a.to] <= g.pos[ci] {
+				continue
+			}
+			if t := g.Required[a.to] - g.arcDelay(ci, a.to); t < g.Required[ci] {
+				g.Required[ci] = t
+			}
+		}
+	}
+	// Net criticality: max over the net's arcs of 1 - slack/worst.
+	for ni := range g.NetCriticality {
+		g.NetCriticality[ni] = 0
+	}
+	if g.WorstArrival <= 0 {
+		return
+	}
+	for ci := 0; ci < n; ci++ {
+		for _, a := range g.edges[ci] {
+			if g.pos[a.to] <= g.pos[ci] {
+				continue
+			}
+			slack := g.Required[a.to] - (g.Arrival[ci] + g.arcDelay(ci, a.to))
+			crit := 1 - slack/g.WorstArrival
+			if crit < 0 {
+				crit = 0
+			}
+			if crit > 1 {
+				crit = 1
+			}
+			if crit > g.NetCriticality[a.net] {
+				g.NetCriticality[a.net] = crit
+			}
+		}
+	}
+}
+
+// Slack returns the slack of cell ci from the latest Analyze.
+func (g *Graph) Slack(ci int) float64 { return g.Required[ci] - g.Arrival[ci] }
+
+// WNS returns the worst negative slack (0 when every path meets the
+// implied period, which by construction of Required is always >= 0;
+// WNS is meaningful against an explicit target period).
+func (g *Graph) WNS(period float64) float64 {
+	w := 0.0
+	for i := range g.Arrival {
+		if s := period - g.Arrival[i]; s < w {
+			w = s
+		}
+	}
+	return w
+}
+
+// CriticalityThreshold is the criticality below which TimingWeights
+// leaves a net alone: in a typical netlist most nets sit at moderate
+// criticality, and reweighting them all just trades wirelength for
+// nothing. Only the genuinely critical tail gets pulled.
+const CriticalityThreshold = 0.8
+
+// TimingWeights maps net criticality to net weights
+//
+//	excess = max(0, (crit - threshold) / (1 - threshold))
+//	w = 1 + strength * excess^2
+//
+// and writes them into the design, returning how many nets changed.
+// The thresholded quadratic concentrates weight on the critical tail,
+// the standard timing-driven placement recipe.
+// Weights accumulate across passes (the new weight never drops below
+// the old one) so consecutive reweighting rounds do not oscillate
+// between alternating critical paths.
+func (g *Graph) TimingWeights(strength float64) int {
+	changed := 0
+	for ni := range g.d.Nets {
+		excess := (g.NetCriticality[ni] - CriticalityThreshold) / (1 - CriticalityThreshold)
+		if excess < 0 {
+			excess = 0
+		}
+		w := 1 + strength*excess*excess
+		if old := g.d.Nets[ni].Weight; w < old {
+			w = old
+		}
+		if g.d.Nets[ni].Weight != w {
+			g.d.Nets[ni].Weight = w
+			changed++
+		}
+	}
+	return changed
+}

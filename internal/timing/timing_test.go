@@ -1,0 +1,224 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"eplace/internal/geom"
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+)
+
+// chain builds a linear pipeline a -> b -> c with unit spacing.
+func chain(xs ...float64) (*netlist.Design, []int) {
+	d := netlist.New("chain", geom.Rect{Hx: 100, Hy: 10})
+	var cells []int
+	for _, x := range xs {
+		cells = append(cells, d.AddCell(netlist.Cell{W: 1, H: 1, X: x, Y: 5}))
+	}
+	for i := 0; i+1 < len(cells); i++ {
+		ni := d.AddNet("", 1)
+		p := d.Connect(cells[i], ni, 0, 0)
+		d.Pins[p].Dir = netlist.DirOut
+		p = d.Connect(cells[i+1], ni, 0, 0)
+		d.Pins[p].Dir = netlist.DirIn
+	}
+	return d, cells
+}
+
+func TestChainArrivalTimes(t *testing.T) {
+	d, cells := chain(0, 10, 30)
+	g := Build(d, Options{GateDelay: 1, WireDelayPerUnit: 1})
+	g.Analyze()
+	// arcs: 0->1 delay 1+10=11; 1->2 delay 1+20=21.
+	if got := g.Arrival[cells[0]]; got != 0 {
+		t.Errorf("arrival[a] = %v", got)
+	}
+	if got := g.Arrival[cells[1]]; math.Abs(got-11) > 1e-9 {
+		t.Errorf("arrival[b] = %v, want 11", got)
+	}
+	if got := g.Arrival[cells[2]]; math.Abs(got-32) > 1e-9 {
+		t.Errorf("arrival[c] = %v, want 32", got)
+	}
+	if math.Abs(g.WorstArrival-32) > 1e-9 {
+		t.Errorf("worst arrival = %v", g.WorstArrival)
+	}
+	// Everything on the single path has zero slack.
+	for _, ci := range cells {
+		if s := g.Slack(ci); math.Abs(s) > 1e-9 {
+			t.Errorf("slack[%d] = %v, want 0", ci, s)
+		}
+	}
+	// Both nets fully critical.
+	for ni := range d.Nets {
+		if c := g.NetCriticality[ni]; math.Abs(c-1) > 1e-9 {
+			t.Errorf("criticality[%d] = %v, want 1", ni, c)
+		}
+	}
+}
+
+func TestSidePathHasSlack(t *testing.T) {
+	// Diamond: s drives a long path (via l) and a short path (via h)
+	// into sink t; the short path must carry positive slack and lower
+	// criticality.
+	d := netlist.New("diamond", geom.Rect{Hx: 100, Hy: 100})
+	s := d.AddCell(netlist.Cell{W: 1, H: 1, X: 0, Y: 50})
+	l := d.AddCell(netlist.Cell{W: 1, H: 1, X: 50, Y: 90}) // far: long path
+	h := d.AddCell(netlist.Cell{W: 1, H: 1, X: 10, Y: 50}) // near: short path
+	sink := d.AddCell(netlist.Cell{W: 1, H: 1, X: 20, Y: 50})
+	wire := func(from, to int) int {
+		ni := d.AddNet("", 1)
+		p := d.Connect(from, ni, 0, 0)
+		d.Pins[p].Dir = netlist.DirOut
+		p = d.Connect(to, ni, 0, 0)
+		d.Pins[p].Dir = netlist.DirIn
+		return ni
+	}
+	wire(s, l)
+	nLong := wire(l, sink)
+	wire(s, h)
+	nShort := wire(h, sink)
+	g := Build(d, Options{})
+	g.Analyze()
+	if g.Slack(h) <= 0 {
+		t.Errorf("short-path slack = %v, want > 0", g.Slack(h))
+	}
+	if math.Abs(g.Slack(l)) > 1e-9 {
+		t.Errorf("long-path slack = %v, want 0", g.Slack(l))
+	}
+	if g.NetCriticality[nShort] >= g.NetCriticality[nLong] {
+		t.Errorf("criticality short %v not below long %v",
+			g.NetCriticality[nShort], g.NetCriticality[nLong])
+	}
+}
+
+func TestCycleBroken(t *testing.T) {
+	// a -> b -> a: the cycle must be broken, analysis must terminate
+	// with finite times.
+	d := netlist.New("loop", geom.Rect{Hx: 10, Hy: 10})
+	a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 1, Y: 5})
+	b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 9, Y: 5})
+	wire := func(from, to int) {
+		ni := d.AddNet("", 1)
+		p := d.Connect(from, ni, 0, 0)
+		d.Pins[p].Dir = netlist.DirOut
+		p = d.Connect(to, ni, 0, 0)
+		d.Pins[p].Dir = netlist.DirIn
+	}
+	wire(a, b)
+	wire(b, a)
+	g := Build(d, Options{})
+	g.Analyze()
+	if g.DroppedEdges == 0 {
+		t.Error("no edges dropped for a 2-cycle")
+	}
+	for _, ci := range []int{a, b} {
+		if math.IsInf(g.Arrival[ci], 0) || math.IsNaN(g.Arrival[ci]) {
+			t.Fatalf("non-finite arrival at %d", ci)
+		}
+	}
+}
+
+func TestUndirectedNetsFallBack(t *testing.T) {
+	// Without pin directions the first pin drives: analysis still works.
+	d := netlist.New("nodir", geom.Rect{Hx: 20, Hy: 10})
+	a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 0, Y: 5})
+	b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 10, Y: 5})
+	ni := d.AddNet("", 1)
+	d.Connect(a, ni, 0, 0)
+	d.Connect(b, ni, 0, 0)
+	g := Build(d, Options{})
+	g.Analyze()
+	if math.Abs(g.Arrival[b]-11) > 1e-9 {
+		t.Errorf("arrival[b] = %v, want 11", g.Arrival[b])
+	}
+}
+
+func TestTimingWeights(t *testing.T) {
+	d, _ := chain(0, 10, 30)
+	// Add an uncritical stub net far off the critical path.
+	e := d.AddCell(netlist.Cell{W: 1, H: 1, X: 0, Y: 1})
+	f := d.AddCell(netlist.Cell{W: 1, H: 1, X: 1, Y: 1})
+	ni := d.AddNet("", 1)
+	p := d.Connect(e, ni, 0, 0)
+	d.Pins[p].Dir = netlist.DirOut
+	p = d.Connect(f, ni, 0, 0)
+	d.Pins[p].Dir = netlist.DirIn
+
+	g := Build(d, Options{})
+	g.Analyze()
+	changed := g.TimingWeights(3)
+	if changed == 0 {
+		t.Fatal("no weights changed")
+	}
+	// Critical chain nets get weight 1 + 3*1 = 4; the stub stays near 1.
+	if w := d.Nets[0].Weight; math.Abs(w-4) > 1e-6 {
+		t.Errorf("critical net weight = %v, want 4", w)
+	}
+	if w := d.Nets[ni].Weight; w > 1.5 {
+		t.Errorf("stub net weight = %v, want near 1", w)
+	}
+}
+
+func TestWNSAgainstPeriod(t *testing.T) {
+	d, _ := chain(0, 10, 30)
+	g := Build(d, Options{})
+	g.Analyze()
+	if wns := g.WNS(40); wns != 0 {
+		t.Errorf("WNS(40) = %v, want 0", wns)
+	}
+	if wns := g.WNS(30); math.Abs(wns-(-2)) > 1e-9 {
+		t.Errorf("WNS(30) = %v, want -2", wns)
+	}
+}
+
+func TestAnalyzeTracksMovement(t *testing.T) {
+	d, cells := chain(0, 10, 30)
+	g := Build(d, Options{})
+	g.Analyze()
+	before := g.WorstArrival
+	// Pull the chain together: delay must drop.
+	d.Cells[cells[1]].X = 2
+	d.Cells[cells[2]].X = 4
+	g.Analyze()
+	if g.WorstArrival >= before {
+		t.Errorf("worst arrival %v did not drop from %v after moving", g.WorstArrival, before)
+	}
+}
+
+func TestOnSyntheticCircuit(t *testing.T) {
+	d := synth.Generate(synth.Spec{Name: "timing", NumCells: 500})
+	g := Build(d, Options{})
+	g.Analyze()
+	if g.WorstArrival <= 0 {
+		t.Fatalf("worst arrival = %v", g.WorstArrival)
+	}
+	// Criticalities are in [0, 1] and at least one net is fully critical.
+	maxC := 0.0
+	for _, c := range g.NetCriticality {
+		if c < 0 || c > 1 {
+			t.Fatalf("criticality out of range: %v", c)
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 0.999 {
+		t.Errorf("max criticality = %v, want ~1", maxC)
+	}
+	// All slacks non-negative against the implied period.
+	for ci := range d.Cells {
+		if g.Slack(ci) < -1e-6 {
+			t.Fatalf("negative slack %v at cell %d", g.Slack(ci), ci)
+		}
+	}
+}
+
+func BenchmarkAnalyze5k(b *testing.B) {
+	d := synth.Generate(synth.Spec{Name: "tb", NumCells: 5000})
+	g := Build(d, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Analyze()
+	}
+}
