@@ -35,6 +35,7 @@ func main() {
 		solver   = flag.String("solver", "nesterov", "global placement solver: nesterov | cg")
 		gridM    = flag.Int("grid", 0, "bin grid size per side (power of two, 0 = auto)")
 		maxIters = flag.Int("iters", 0, "max GP iterations (0 = default 3000)")
+		workers  = flag.Int("workers", 0, "gradient-kernel workers (0 = all cores, 1 = serial)")
 		gpOnly   = flag.Bool("gp-only", false, "stop after global placement (no legalization)")
 		tdPasses = flag.Int("timing", 0, "timing-driven reweighting passes (extension)")
 		cgPasses = flag.Int("congestion", 0, "congestion-driven reweighting passes (extension)")
@@ -71,7 +72,7 @@ func main() {
 		fmt.Printf("design %s: %s\n", d.Name, d.Stats())
 	}
 
-	gp := core.Options{GridM: *gridM, MaxIters: *maxIters}
+	gp := core.Options{GridM: *gridM, MaxIters: *maxIters, Workers: *workers}
 	if *solver == "cg" {
 		gp.Solver = core.SolverCG
 	} else if *solver != "nesterov" {

@@ -27,6 +27,9 @@ type Options struct {
 	TargetOverflow float64
 	// GridM is the density grid size (0 = auto).
 	GridM int
+	// Workers is the worker count for the shared LSE wirelength model
+	// (0 = all cores, 1 = serial); the bell-shape density stays serial.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -232,6 +235,7 @@ func Place(d *netlist.Design, idx []int, opt Options) Result {
 
 	gamma := 0.05 * math.Max(d.Region.W(), d.Region.H()) / float64(m) * 8
 	md := newModel(d, idx, m, gamma)
+	md.wl.Workers = opt.Workers
 
 	// Balance initial gradient norms for lambda, as ePlace does.
 	v := d.Positions(idx)

@@ -50,7 +50,7 @@ func newEngine(d *netlist.Design, idx []int, opt Options) *engine {
 		d:      d,
 		idx:    idx,
 		wl:     wirelength.New(d, idx, 1),
-		dm:     density.NewModel(d, m),
+		dm:     density.NewModelWorkers(d, m, opt.Workers),
 		opt:    opt,
 		degree: make([]float64, len(idx)),
 		qNorm:  make([]float64, len(idx)),
@@ -59,6 +59,7 @@ func newEngine(d *netlist.Design, idx []int, opt Options) *engine {
 		gw:     make([]float64, 2*len(idx)),
 		gd:     make([]float64, 2*len(idx)),
 	}
+	e.wl.Workers = opt.Workers
 	binArea := e.dm.Grid.BinArea()
 	for k, ci := range idx {
 		c := &d.Cells[ci]

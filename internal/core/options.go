@@ -36,6 +36,12 @@ type Options struct {
 	MinIters int
 	// Solver selects Nesterov (default) or the CG/FFTPL baseline.
 	Solver SolverKind
+	// Workers is the worker count for the per-iteration gradient
+	// kernels (WA wirelength, eDensity rasterize/solve/force, spectral
+	// Poisson transforms): 0 uses all cores, 1 runs fully serial.
+	// Results are bitwise-identical for every setting; only wall-clock
+	// time changes.
+	Workers int
 
 	// DisableBkTrk turns off steplength backtracking (Sec. V-C ablation).
 	DisableBkTrk bool

@@ -12,31 +12,49 @@ import (
 
 	"eplace/internal/grid"
 	"eplace/internal/netlist"
+	"eplace/internal/parallel"
 	"eplace/internal/poisson"
 )
 
 // Model evaluates the density cost and gradient for one design.
+//
+// Concurrency contract: a Model is NOT safe for concurrent use by
+// multiple goroutines — Refresh mutates the grid, the charge plane and
+// the Poisson solver workspace, and Gradient reads them. Parallelism is
+// internal: the worker count fixed at construction fans out the movable
+// rasterization, the spectral solve and the per-cell force integration,
+// with results bitwise-identical for every worker count.
 type Model struct {
 	Grid   *grid.Grid
 	Solver *poisson.Solver
 	d      *netlist.Design
 	rho    []float64
+	objs   []grid.Object // rasterization batch scratch
 	// binAreaInv normalizes charge to dimensionless bin density.
 	binAreaInv float64
 	energy     float64
+	workers    int
 }
 
 // NewModel builds a density model over design d with an m x m grid
-// (m a power of two, e.g. grid.ChooseM). Fixed cells are rasterized
-// once; call Refresh whenever movable positions change.
+// (m a power of two, e.g. grid.ChooseM) using all cores. Fixed cells
+// are rasterized once; call Refresh whenever movable positions change.
 func NewModel(d *netlist.Design, m int) *Model {
+	return NewModelWorkers(d, m, 0)
+}
+
+// NewModelWorkers is NewModel with an explicit worker count for the
+// rasterization, force and Poisson kernels; workers <= 0 selects all
+// cores, 1 runs fully serial.
+func NewModelWorkers(d *netlist.Design, m, workers int) *Model {
 	g := grid.New(d.Region, m)
 	md := &Model{
 		Grid:       g,
-		Solver:     poisson.NewSolver(m),
+		Solver:     poisson.NewSolverWorkers(m, workers),
 		d:          d,
 		rho:        make([]float64, m*m),
 		binAreaInv: 1 / g.BinArea(),
+		workers:    parallel.Count(workers),
 	}
 	for _, ci := range d.FixedCells() {
 		g.AddFixed(d.Cells[ci].Rect())
@@ -49,14 +67,15 @@ func NewModel(d *netlist.Design, m int) *Model {
 // energy. idx must cover every non-fixed cell that should carry charge.
 func (md *Model) Refresh(idx []int) {
 	md.Grid.ClearMovable()
-	for _, ci := range idx {
-		c := &md.d.Cells[ci]
-		if c.Kind == netlist.Filler {
-			md.Grid.AddFiller(c.X, c.Y, c.W, c.H)
-		} else {
-			md.Grid.AddMovable(c.X, c.Y, c.W, c.H)
-		}
+	if cap(md.objs) < len(idx) {
+		md.objs = make([]grid.Object, len(idx))
 	}
+	objs := md.objs[:len(idx)]
+	for i, ci := range idx {
+		c := &md.d.Cells[ci]
+		objs[i] = grid.Object{X: c.X, Y: c.Y, W: c.W, H: c.H, Filler: c.Kind == netlist.Filler}
+	}
+	md.Grid.AddObjects(objs, md.workers)
 	md.Grid.Charge(md.rho)
 	for b := range md.rho {
 		md.rho[b] *= md.binAreaInv
@@ -76,25 +95,31 @@ func (md *Model) Overflow(rhoT float64) float64 { return md.Grid.Overflow(rhoT) 
 // out {x_1..x_n, y_1..y_n} like netlist.Positions. The gradient is the
 // negated electric force: descending it moves charge away from density
 // peaks. Footprints use the same local smoothing as rasterization so
-// the gradient is consistent with the energy.
+// the gradient is consistent with the energy. Cells shard over the
+// worker pool; every cell's force is an independent integral over the
+// solved field, so the result does not depend on the worker count.
 func (md *Model) Gradient(idx []int, grad []float64) {
 	n := len(idx)
 	if len(grad) != 2*n {
 		panic("density: gradient buffer size mismatch")
 	}
 	g := md.Grid
-	for k, ci := range idx {
-		c := &md.d.Cells[ci]
-		fx, fy := md.forceOn(c)
-		// Convert grid-coordinate field to design units and negate the
-		// force (Eq. 8: dN/dx_i = 2 q_i xi_ix, pointing uphill).
-		grad[k] = -2 * fx / g.BinW
-		grad[k+n] = -2 * fy / g.BinH
-	}
+	parallel.For(md.workers, n, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			c := &md.d.Cells[idx[k]]
+			fx, fy := md.forceOn(c)
+			// Convert grid-coordinate field to design units and negate the
+			// force (Eq. 8: dN/dx_i = 2 q_i xi_ix, pointing uphill).
+			grad[k] = -2 * fx / g.BinW
+			grad[k+n] = -2 * fy / g.BinH
+		}
+	})
 }
 
 // forceOn integrates charge-density * field over the smoothed footprint
-// of cell c, returning the force components in grid units.
+// of cell c, returning the force components in grid units. It only
+// reads shared state (grid geometry, solved field planes) and is safe
+// to call from worker goroutines.
 func (md *Model) forceOn(c *netlist.Cell) (fx, fy float64) {
 	g := md.Grid
 	m := g.M

@@ -53,6 +53,8 @@ type RunOptions struct {
 	SkipDetail bool
 	// Trace collects per-iteration samples (ePlace/FFTPL only).
 	Trace *core.Trace
+	// Workers is the gradient-kernel worker count (0 = all cores).
+	Workers int
 }
 
 // Run places design d with the given placer and returns the scorecard.
@@ -66,7 +68,7 @@ func Run(d *netlist.Design, p Placer, opt RunOptions) metrics.Report {
 	movable := d.Movable()
 	failed := false
 
-	gpOpt := core.Options{GridM: opt.GridM, MaxIters: opt.MaxIters, Trace: opt.Trace}
+	gpOpt := core.Options{GridM: opt.GridM, MaxIters: opt.MaxIters, Trace: opt.Trace, Workers: opt.Workers}
 
 	switch p {
 	case EPlace, FFTPL:
@@ -85,7 +87,7 @@ func Run(d *netlist.Design, p Placer, opt RunOptions) metrics.Report {
 		qres := quadratic.Place(d, movable, quadratic.Options{GridM: opt.GridM})
 		failed = qres.Iterations == 0 && len(movable) > 0
 	case BellShape:
-		bres := bellshape.Place(d, movable, bellshape.Options{GridM: opt.GridM})
+		bres := bellshape.Place(d, movable, bellshape.Options{GridM: opt.GridM, Workers: opt.Workers})
 		failed = bres.OuterIterations == 0 && len(movable) > 0
 	case MinCut:
 		mincut.Place(d, movable, mincut.Options{})

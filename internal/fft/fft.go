@@ -17,8 +17,13 @@ import (
 )
 
 // Plan holds precomputed twiddle factors and the bit-reversal
-// permutation for complex FFTs of one size. A Plan is cheap to reuse
-// and safe for concurrent Forward/Inverse calls on distinct buffers.
+// permutation for complex FFTs of one size.
+//
+// Concurrency contract: a Plan is immutable after NewPlan — Forward and
+// Inverse only read the plan and mutate the caller's buffer in place —
+// so one Plan may be shared by any number of goroutines as long as each
+// call operates on a distinct buffer. This differs from Real below,
+// which owns mutable scratch and is single-goroutine-only.
 type Plan struct {
 	n       int
 	logn    int
@@ -91,9 +96,13 @@ func (p *Plan) transform(x []complex128, inverse bool) {
 }
 
 // Real implements the three real transforms on length-n vectors via one
-// shared length-2n complex FFT. Not safe for concurrent use; create one
-// Real per goroutine (they share nothing mutable after construction
-// except the scratch buffer).
+// shared length-2n complex FFT.
+//
+// Concurrency contract: a Real is NOT safe for concurrent use — every
+// transform stages data through the internal scratch buffer, unlike
+// Plan whose calls are independent. Create one Real per worker
+// goroutine (the poisson.Solver pool does exactly this); construction
+// is cheap and instances share nothing mutable.
 type Real struct {
 	n       int
 	plan    *Plan

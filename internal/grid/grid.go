@@ -10,11 +10,18 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 
 	"eplace/internal/geom"
+	"eplace/internal/parallel"
 )
 
 // Grid is an M x M uniform bin decomposition of a region.
+//
+// Concurrency contract: a Grid is not safe for concurrent mutation;
+// AddObjects parallelizes internally over bin rows. Read-only queries
+// (Overflow, MaxDensity, ...) may run concurrently with each other but
+// not with mutations.
 type Grid struct {
 	M      int
 	Region geom.Rect
@@ -25,6 +32,12 @@ type Grid struct {
 	Fixed []float64
 	Mov   []float64
 	Fill  []float64
+
+	// Batch rasterization scratch (AddObjects), reused across calls.
+	rObjs  []rasterObj
+	rowCnt []int
+	rowOff []int
+	rowIdx []int32
 }
 
 // New creates an M x M grid over region. M must be a positive power of
@@ -165,6 +178,143 @@ func (g *Grid) AddMovable(cx, cy, w, h float64) {
 func (g *Grid) AddFiller(cx, cy, w, h float64) {
 	r, s := g.smoothed(cx, cy, w, h)
 	g.splat(g.Fill, r, s)
+}
+
+// Object is one movable or filler rectangle for batch rasterization,
+// given by its center and size.
+type Object struct {
+	X, Y, W, H float64
+	Filler     bool // rasterize into the filler layer instead of movable
+}
+
+// rasterObj is one smoothed, clamped rectangle ready to splat.
+type rasterObj struct {
+	r              geom.Rect
+	scale          float64
+	i0, i1, j0, j1 int32
+	filler         bool
+	skip           bool
+}
+
+// AddObjects rasterizes the objects into the movable and filler layers
+// with the same local smoothing as AddMovable/AddFiller, fanning the
+// work out over bin-row shards. Every bin row is owned by exactly one
+// worker, and each row visits its overlapping objects in ascending
+// slice order, so each bin accumulates contributions with the same
+// values, order and association as the serial loop
+//
+//	for _, o := range objs { AddMovable/AddFiller(o...) }
+//
+// making the result bitwise-identical for every worker count.
+// workers <= 0 selects all cores.
+func (g *Grid) AddObjects(objs []Object, workers int) {
+	workers = parallel.Count(workers)
+	m := g.M
+	if cap(g.rObjs) < len(objs) {
+		g.rObjs = make([]rasterObj, len(objs))
+	}
+	if g.rowCnt == nil {
+		g.rowCnt = make([]int, m)
+		g.rowOff = make([]int, m+1)
+	}
+	ro := g.rObjs[:len(objs)]
+
+	// Phase 1: smooth, clamp and bin-range every object (independent).
+	parallel.For(workers, len(objs), func(_, lo, hi int) {
+		for oi := lo; oi < hi; oi++ {
+			o := &objs[oi]
+			r, scale := g.smoothed(o.X, o.Y, o.W, o.H)
+			if scale == 0 || r.Empty() {
+				ro[oi] = rasterObj{skip: true}
+				continue
+			}
+			i0, i1 := g.binRange(r.Lx, r.Hx, g.Region.Lx, g.BinW)
+			j0, j1 := g.binRange(r.Ly, r.Hy, g.Region.Ly, g.BinH)
+			ro[oi] = rasterObj{
+				r: r, scale: scale, filler: o.Filler,
+				i0: int32(i0), i1: int32(i1), j0: int32(j0), j1: int32(j1),
+			}
+		}
+	})
+
+	// Phase 2: bucket objects by the bin rows they touch (CSR layout,
+	// filled in ascending object order so each row's list is sorted).
+	total := 0
+	for j := range g.rowCnt {
+		g.rowCnt[j] = 0
+	}
+	for oi := range ro {
+		if ro[oi].skip {
+			continue
+		}
+		for j := ro[oi].j0; j < ro[oi].j1; j++ {
+			g.rowCnt[j]++
+		}
+		total += int(ro[oi].j1 - ro[oi].j0)
+	}
+	g.rowOff[0] = 0
+	for j := 0; j < m; j++ {
+		g.rowOff[j+1] = g.rowOff[j] + g.rowCnt[j]
+		g.rowCnt[j] = g.rowOff[j] // reuse as the fill cursor
+	}
+	if cap(g.rowIdx) < total {
+		g.rowIdx = make([]int32, total)
+	}
+	rowIdx := g.rowIdx[:total]
+	for oi := range ro {
+		if ro[oi].skip {
+			continue
+		}
+		for j := ro[oi].j0; j < ro[oi].j1; j++ {
+			rowIdx[g.rowCnt[j]] = int32(oi)
+			g.rowCnt[j]++
+		}
+	}
+
+	// Phase 3: splat, sharded by bin row with shard boundaries balanced
+	// on the per-row entry counts (dense regions get narrower shards).
+	bounds := make([]int, workers+1)
+	bounds[workers] = m
+	for w := 1; w < workers; w++ {
+		target := total * w / workers
+		bounds[w] = sort.SearchInts(g.rowOff[:m+1], target)
+		if bounds[w] > m {
+			bounds[w] = m
+		}
+	}
+	parallel.For(workers, workers, func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			for j := bounds[w]; j < bounds[w+1]; j++ {
+				g.splatRow(j, ro, rowIdx[g.rowOff[j]:g.rowOff[j+1]])
+			}
+		}
+	})
+}
+
+// splatRow accumulates the x-overlap of each listed object with bin row
+// j, mirroring splat's inner loop exactly.
+func (g *Grid) splatRow(j int, ro []rasterObj, objIdx []int32) {
+	by0 := g.Region.Ly + float64(j)*g.BinH
+	row := j * g.M
+	for _, oi := range objIdx {
+		o := &ro[oi]
+		oy := math.Min(o.r.Hy, by0+g.BinH) - math.Max(o.r.Ly, by0)
+		if oy <= 0 {
+			continue
+		}
+		layer := g.Mov
+		if o.filler {
+			layer = g.Fill
+		}
+		for i := o.i0; i < o.i1; i++ {
+			bx0 := g.Region.Lx + float64(i)*g.BinW
+			ox := math.Min(o.r.Hx, bx0+g.BinW) - math.Max(o.r.Lx, bx0)
+			if ox <= 0 {
+				continue
+			}
+			layer[row+int(i)] += ox * oy * o.scale
+		}
+	}
 }
 
 // Charge writes the total electrostatic charge per bin (fixed + movable

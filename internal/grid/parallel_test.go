@@ -1,0 +1,109 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"eplace/internal/geom"
+)
+
+// randomObjects mixes sub-bin cells, multi-bin macros, boundary-clamped
+// cells and fillers.
+func randomObjects(n int, seed int64, region geom.Rect) []Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]Object, n)
+	for i := range objs {
+		w := 0.5 + rng.Float64()*3
+		h := 0.5 + rng.Float64()*3
+		if rng.Intn(20) == 0 { // occasional macro
+			w *= 10
+			h *= 10
+		}
+		objs[i] = Object{
+			X:      region.Lx + rng.Float64()*region.W(),
+			Y:      region.Ly + rng.Float64()*region.H(),
+			W:      w,
+			H:      h,
+			Filler: rng.Intn(3) == 0,
+		}
+	}
+	return objs
+}
+
+// TestAddObjectsMatchesSerial asserts the batch row-sharded rasterizer
+// is bitwise-identical to the serial AddMovable/AddFiller loop for
+// every worker count.
+func TestAddObjectsMatchesSerial(t *testing.T) {
+	region := geom.Rect{Hx: 64, Hy: 64}
+	objs := randomObjects(600, 3, region)
+
+	ref := New(region, 32)
+	for _, o := range objs {
+		if o.Filler {
+			ref.AddFiller(o.X, o.Y, o.W, o.H)
+		} else {
+			ref.AddMovable(o.X, o.Y, o.W, o.H)
+		}
+	}
+
+	for _, workers := range []int{1, 2, 7, runtime.NumCPU(), 64} {
+		g := New(region, 32)
+		g.AddObjects(objs, workers)
+		for b := range ref.Mov {
+			if math.Float64bits(g.Mov[b]) != math.Float64bits(ref.Mov[b]) {
+				t.Fatalf("workers=%d: Mov[%d] = %v, serial %v", workers, b, g.Mov[b], ref.Mov[b])
+			}
+			if math.Float64bits(g.Fill[b]) != math.Float64bits(ref.Fill[b]) {
+				t.Fatalf("workers=%d: Fill[%d] = %v, serial %v", workers, b, g.Fill[b], ref.Fill[b])
+			}
+		}
+	}
+}
+
+// TestAddObjectsReuse checks the scratch buffers survive repeated calls
+// with different batch sizes (the per-iteration Refresh pattern).
+func TestAddObjectsReuse(t *testing.T) {
+	region := geom.Rect{Hx: 32, Hy: 32}
+	g := New(region, 16)
+	for _, n := range []int{100, 7, 250, 0, 33} {
+		objs := randomObjects(n, int64(n)+1, region)
+		ref := New(region, 16)
+		for _, o := range objs {
+			if o.Filler {
+				ref.AddFiller(o.X, o.Y, o.W, o.H)
+			} else {
+				ref.AddMovable(o.X, o.Y, o.W, o.H)
+			}
+		}
+		g.ClearMovable()
+		g.AddObjects(objs, 3)
+		for b := range ref.Mov {
+			if g.Mov[b] != ref.Mov[b] || g.Fill[b] != ref.Fill[b] {
+				t.Fatalf("n=%d: bin %d (%v,%v) != serial (%v,%v)",
+					n, b, g.Mov[b], g.Fill[b], ref.Mov[b], ref.Fill[b])
+			}
+		}
+	}
+}
+
+// TestAddObjectsConservesArea mirrors the serial conservation property:
+// in-region objects rasterize to exactly their area.
+func TestAddObjectsConservesArea(t *testing.T) {
+	region := geom.Rect{Hx: 64, Hy: 64}
+	g := New(region, 32)
+	objs := []Object{
+		{X: 10, Y: 10, W: 4, H: 4},
+		{X: 30.3, Y: 40.7, W: 0.9, H: 1.1}, // sub-bin, smoothed
+		{X: 50, Y: 20, W: 6, H: 2, Filler: true},
+	}
+	g.AddObjects(objs, 2)
+	wantMov := 4.0*4 + 0.9*1.1
+	if got := g.TotalMovable(); math.Abs(got-wantMov) > 1e-9 {
+		t.Errorf("TotalMovable = %v, want %v", got, wantMov)
+	}
+	if got := g.TotalFill(); math.Abs(got-12.0) > 1e-9 {
+		t.Errorf("TotalFill = %v, want 12", got)
+	}
+}

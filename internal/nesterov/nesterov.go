@@ -188,6 +188,10 @@ func (o *Optimizer) commit(aNext float64) {
 }
 
 // lipschitzStep returns the Eq. (10) steplength ||dv|| / ||dg||, capped.
+// The result is always finite: an infinite ratio (Inf dv with finite dg,
+// which the NaN branch alone would let through) falls back to MaxStep,
+// and if MaxStep itself is non-finite the step degrades to 0 (a no-op
+// iteration) rather than poisoning the positions with Inf.
 func (o *Optimizer) lipschitzStep(v, vp, g, gp []float64) float64 {
 	var dv, dg float64
 	for i := range v {
@@ -196,12 +200,15 @@ func (o *Optimizer) lipschitzStep(v, vp, g, gp []float64) float64 {
 		e := g[i] - gp[i]
 		dg += e * e
 	}
-	if dg == 0 {
-		return o.MaxStep
+	s := o.MaxStep
+	if dg != 0 {
+		s = math.Sqrt(dv / dg)
 	}
-	s := math.Sqrt(dv / dg)
-	if s == 0 || math.IsNaN(s) || s > o.MaxStep {
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 1) || s > o.MaxStep {
 		s = o.MaxStep
+	}
+	if math.IsNaN(s) || math.IsInf(s, 1) {
+		s = 0
 	}
 	return s
 }

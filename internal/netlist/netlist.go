@@ -92,6 +92,18 @@ type Net struct {
 	Pins []int
 }
 
+// EffWeight returns the net's effective weight: unweighted nets
+// (Weight == 0, e.g. Bookshelf benchmarks without a .wts entry) count
+// as 1. Every consumer of net weights — the HPWL metric, the smooth
+// wirelength models, the quadratic net model — must use this instead of
+// coercing Weight locally, so metric and gradient can never drift.
+func (n *Net) EffWeight() float64 {
+	if n.Weight == 0 {
+		return 1
+	}
+	return n.Weight
+}
+
 // Row is a standard-cell row for legalization.
 type Row struct {
 	Y      float64 // bottom of the row
@@ -190,11 +202,7 @@ func (d *Design) NetHPWL(ni int) float64 {
 		minY = math.Min(minY, p.Y)
 		maxY = math.Max(maxY, p.Y)
 	}
-	w := n.Weight
-	if w == 0 {
-		w = 1
-	}
-	return w * ((maxX - minX) + (maxY - minY))
+	return n.EffWeight() * ((maxX - minX) + (maxY - minY))
 }
 
 // HPWL returns the total weighted half-perimeter wirelength (Eq. 1).

@@ -1,0 +1,87 @@
+// Package parallel provides the shared fork-join primitive used by the
+// per-iteration gradient kernels (WA wirelength, eDensity rasterization
+// and force integration, spectral Poisson transforms): a worker pool
+// sized by GOMAXPROCS with static contiguous range sharding and panic
+// propagation.
+//
+// The pool is deliberately fork-join per call rather than a persistent
+// goroutine set behind channels: a Go goroutine spawn costs on the order
+// of a microsecond, far below the cost of one kernel shard, while a
+// channel-fed pool adds a hop of latency per task and a lifecycle to
+// manage. Static sharding (one contiguous index range per worker) keeps
+// every worker's memory traffic sequential and makes the shard -> worker
+// mapping deterministic, which the callers rely on for per-worker
+// scratch buffers.
+//
+// Determinism contract: For itself imposes no ordering between shards;
+// callers that reduce across shards must do so in a fixed order that is
+// independent of the worker count (see wirelength and grid for the two
+// reduction patterns used in this repo) so that results are
+// bitwise-identical for every Workers setting.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Count resolves a Workers option: values <= 0 select all available
+// cores (runtime.GOMAXPROCS(0)); positive values are returned unchanged.
+func Count(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For splits the index range [0, n) into one contiguous shard per worker
+// and runs fn(worker, lo, hi) for every non-empty shard concurrently.
+// Worker ids passed to fn are dense in [0, min(workers, n)), so callers
+// may index per-worker scratch by them. With workers <= 1 (or n == 1)
+// fn runs inline on the calling goroutine: no goroutines are spawned and
+// the call is exactly the serial loop.
+//
+// If any shard panics, For waits for the remaining shards and then
+// re-panics the first recovered value on the calling goroutine.
+func For(workers, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		once sync.Once
+		pv   any
+	)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { pv = r })
+				}
+			}()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if pv != nil {
+		panic(pv)
+	}
+}

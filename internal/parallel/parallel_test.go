@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCount(t *testing.T) {
+	if got := Count(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Count(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Count(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Count(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Count(7); got != 7 {
+		t.Fatalf("Count(7) = %d", got)
+	}
+}
+
+// TestForCoversRange checks every index is visited exactly once and
+// worker ids stay dense, for worker counts below, at and above n.
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 5, 16, 97} {
+			visits := make([]int32, n)
+			maxWorkers := workers
+			if n < maxWorkers {
+				maxWorkers = n
+			}
+			For(workers, n, func(w, lo, hi int) {
+				if w < 0 || w >= maxWorkers {
+					t.Errorf("workers=%d n=%d: worker id %d out of range", workers, n, w)
+				}
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty shard [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForSerialInline checks the workers<=1 path runs on the calling
+// goroutine (shards execute in order with no interleaving).
+func TestForSerialInline(t *testing.T) {
+	var order []int
+	For(1, 5, func(w, lo, hi int) {
+		if w != 0 || lo != 0 || hi != 5 {
+			t.Fatalf("serial shard (%d,%d,%d), want (0,0,5)", w, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			order = append(order, i)
+		}
+	})
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			For(workers, 8, func(w, lo, hi int) {
+				if lo == 0 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}

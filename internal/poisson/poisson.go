@@ -10,8 +10,11 @@
 // potential coefficients are a_{uv}/(w_u^2 + w_v^2) with the (0,0) mode
 // removed, and the field components come from differentiating the basis,
 // turning one cosine factor into a sine. Everything runs in
-// O(M^2 log M) via the transforms in internal/fft, with row batches
-// fanned out over a small worker pool.
+// O(M^2 log M) via the transforms in internal/fft, with both the row
+// and the column passes of every 2D transform fanned out over the
+// shared internal/parallel worker pool (one thread-confined fft.Real
+// workspace per worker). Each row/column writes a disjoint slice of the
+// output plane, so results are bitwise-identical for every worker count.
 //
 // Grid coordinates: sample (i, j) is the bin center (i+1/2, j+1/2) in
 // units of bins. Ex is minus d(psi)/dx, the electric field that pushes
@@ -21,10 +24,9 @@ package poisson
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"eplace/internal/fft"
+	"eplace/internal/parallel"
 )
 
 // Solver holds workspace for repeated solves on one grid size. A Solver
@@ -48,17 +50,23 @@ type Solver struct {
 	Ey  []float64 // -d psi / dy
 }
 
-// NewSolver creates a solver for an m x m grid (m a power of two).
-func NewSolver(m int) *Solver {
+// NewSolver creates a solver for an m x m grid (m a power of two)
+// using all cores.
+func NewSolver(m int) *Solver { return NewSolverWorkers(m, 0) }
+
+// NewSolverWorkers is NewSolver with an explicit worker count;
+// workers <= 0 selects all cores (GOMAXPROCS). Grids below 64x64 run
+// serial regardless: a transform there is cheaper than a fork-join.
+func NewSolverWorkers(m, workers int) *Solver {
 	if m <= 0 || m&(m-1) != 0 {
 		panic(fmt.Sprintf("poisson: grid size %d is not a positive power of two", m))
 	}
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
-	}
-	if workers < 1 || m < 64 {
+	workers = parallel.Count(workers)
+	if m < 64 {
 		workers = 1
+	}
+	if workers > m {
+		workers = m
 	}
 	s := &Solver{
 		m:    m,
@@ -86,35 +94,14 @@ func NewSolver(m int) *Solver {
 // M returns the grid size.
 func (s *Solver) M() int { return s.m }
 
-// pfor runs fn(worker, i) for i in [0, n) across the worker pool.
+// pfor runs fn(worker, i) for i in [0, n) across the worker pool. Each
+// worker owns one contiguous index shard and one fft.Real workspace.
 func (s *Solver) pfor(n int, fn func(worker, i int)) {
-	nw := len(s.trs)
-	if nw == 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
+	parallel.For(len(s.trs), n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(w, i)
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(w, i)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // Solve computes Psi, Ex and Ey from the charge plane rho (length m*m,

@@ -93,10 +93,7 @@ func solveAxis(d *netlist.Design, idx []int, slot []int, opt Options, xAxis bool
 		if deg < 2 {
 			continue
 		}
-		w := net.Weight
-		if w == 0 {
-			w = 1
-		}
+		w := net.EffWeight()
 		// Locate boundary pins along this axis.
 		loPin, hiPin := -1, -1
 		lo, hi := math.Inf(1), math.Inf(-1)

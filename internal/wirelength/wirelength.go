@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"eplace/internal/netlist"
+	"eplace/internal/parallel"
 )
 
 // Kind selects the smoothing model.
@@ -24,17 +25,48 @@ const (
 // Model evaluates smooth wirelength over one design. The cell-to-slot
 // mapping is fixed at construction: gradients are produced only for the
 // cells passed to New, all other cells contribute as fixed terminals.
+//
+// Concurrency contract: a Model is NOT safe for concurrent use by
+// multiple goroutines — evaluations share internal reduction state
+// (per-net costs, per-pin gradient contributions). Parallelism is
+// internal: set Workers and call Cost/CostAndGradient from one
+// goroutine. The design's net/pin topology must not change after New
+// (net weights may change between evaluations; Gamma and Kind too).
 type Model struct {
 	Kind  Kind
 	Gamma float64
+	// Workers is the number of shards used for net evaluation and
+	// gradient scatter; <= 0 selects all cores (GOMAXPROCS). Results
+	// are bitwise-identical for every worker count: per-net terms are
+	// computed independently and reduced in a fixed (net, pin) order
+	// that matches the serial loop exactly.
+	Workers int
 
 	d    *netlist.Design
 	idx  []int
 	slot []int // cell index -> position in idx, or -1
-	// scratch per net
-	xs, ys []float64
-	gx, gy []float64
-	cells  []int
+
+	// Deterministic reduction state (see eval). costs holds each net's
+	// weighted smooth cost; pinGX/pinGY hold each pin's weighted
+	// gradient contribution, written by exactly one worker (the one
+	// owning the pin's net). adjPin lists, for model cell k, the pins
+	// adjPin[adjOff[k]:adjOff[k+1]] that contribute to its gradient,
+	// sorted by (net index, position within the net) — the exact order
+	// the serial scatter visits them, so the left-to-right fold per
+	// cell reproduces the serial sum bit for bit.
+	costs  []float64
+	pinGX  []float64
+	pinGY  []float64
+	adjOff []int
+	adjPin []int
+
+	maxDeg int
+	scr    []*netScratch // per-worker scratch, grown on demand
+}
+
+// netScratch is one worker's per-net buffers.
+type netScratch struct {
+	xs, ys, gx, gy []float64
 }
 
 // New builds a model producing gradients for the cells in idx.
@@ -48,18 +80,66 @@ func New(d *netlist.Design, idx []int, gamma float64) *Model {
 	for k, ci := range idx {
 		m.slot[ci] = k
 	}
-	maxDeg := 0
 	for ni := range d.Nets {
-		if deg := len(d.Nets[ni].Pins); deg > maxDeg {
-			maxDeg = deg
+		if deg := len(d.Nets[ni].Pins); deg > m.maxDeg {
+			m.maxDeg = deg
 		}
 	}
-	m.xs = make([]float64, maxDeg)
-	m.ys = make([]float64, maxDeg)
-	m.gx = make([]float64, maxDeg)
-	m.gy = make([]float64, maxDeg)
-	m.cells = make([]int, maxDeg)
+	m.costs = make([]float64, len(d.Nets))
+	m.pinGX = make([]float64, len(d.Pins))
+	m.pinGY = make([]float64, len(d.Pins))
+	m.buildAdjacency()
 	return m
+}
+
+// buildAdjacency precomputes, for every model cell, its gradient-
+// contributing pins in serial scatter order (net index ascending, then
+// pin position within the net). Pins on degree<2 nets never contribute
+// and are excluded, as are pins of fixed terminals.
+func (m *Model) buildAdjacency() {
+	d := m.d
+	n := len(m.idx)
+	counts := make([]int, n)
+	forEach := func(visit func(slot, pi int)) {
+		for ni := range d.Nets {
+			net := &d.Nets[ni]
+			if len(net.Pins) < 2 {
+				continue
+			}
+			for _, pi := range net.Pins {
+				ci := d.Pins[pi].Cell
+				if ci < 0 {
+					continue
+				}
+				if s := m.slot[ci]; s >= 0 {
+					visit(s, pi)
+				}
+			}
+		}
+	}
+	forEach(func(s, pi int) { counts[s]++ })
+	m.adjOff = make([]int, n+1)
+	for k, c := range counts {
+		m.adjOff[k+1] = m.adjOff[k] + c
+	}
+	m.adjPin = make([]int, m.adjOff[n])
+	cursor := append([]int(nil), m.adjOff[:n]...)
+	forEach(func(s, pi int) {
+		m.adjPin[cursor[s]] = pi
+		cursor[s]++
+	})
+}
+
+// grow ensures per-worker scratch exists for workers shards.
+func (m *Model) grow(workers int) {
+	for len(m.scr) < workers {
+		m.scr = append(m.scr, &netScratch{
+			xs: make([]float64, m.maxDeg),
+			ys: make([]float64, m.maxDeg),
+			gx: make([]float64, m.maxDeg),
+			gy: make([]float64, m.maxDeg),
+		})
+	}
 }
 
 // Cost returns the smooth wirelength at the current positions.
@@ -78,51 +158,80 @@ func (m *Model) CostAndGradient(grad []float64) float64 {
 	return m.eval(grad)
 }
 
+// eval runs the three-phase parallel pipeline. Phase 1 shards the nets:
+// each worker evaluates its nets' smooth spans into m.costs and (when
+// grad != nil) each pin's weighted derivative into m.pinGX/m.pinGY —
+// every write is owned by exactly one worker, so there is no shared
+// accumulator. Phase 2 folds the per-net costs in net order on the
+// calling goroutine. Phase 3 shards the model cells: each cell's
+// gradient is the left-to-right fold of its adjacency contributions.
+// Both reductions use a fixed order and association independent of the
+// worker count, so every Workers setting produces bitwise-identical
+// results — including Workers=1, which reproduces the original serial
+// loop exactly.
 func (m *Model) eval(grad []float64) float64 {
 	d := m.d
-	n := len(m.idx)
-	total := 0.0
-	for ni := range d.Nets {
-		net := &d.Nets[ni]
-		deg := len(net.Pins)
-		if deg < 2 {
-			continue
-		}
-		w := net.Weight
-		if w == 0 {
-			w = 1
-		}
-		xs, ys := m.xs[:deg], m.ys[:deg]
-		for p, pi := range net.Pins {
-			pos := d.PinPos(pi)
-			xs[p] = pos.X
-			ys[p] = pos.Y
-			m.cells[p] = d.Pins[pi].Cell
-		}
-		var cost float64
-		if grad == nil {
-			cost = m.axis(xs, nil) + m.axis(ys, nil)
-		} else {
-			gx, gy := m.gx[:deg], m.gy[:deg]
-			cost = m.axis(xs, gx) + m.axis(ys, gy)
-			for p := 0; p < deg; p++ {
-				ci := m.cells[p]
-				if ci < 0 {
-					continue
-				}
-				if s := m.slot[ci]; s >= 0 {
-					grad[s] += w * gx[p]
-					grad[s+n] += w * gy[p]
+	workers := parallel.Count(m.Workers)
+	m.grow(workers)
+
+	parallel.For(workers, len(d.Nets), func(wk, lo, hi int) {
+		s := m.scr[wk]
+		for ni := lo; ni < hi; ni++ {
+			net := &d.Nets[ni]
+			deg := len(net.Pins)
+			if deg < 2 {
+				m.costs[ni] = 0
+				continue
+			}
+			w := net.EffWeight()
+			xs, ys := s.xs[:deg], s.ys[:deg]
+			for p, pi := range net.Pins {
+				pos := d.PinPos(pi)
+				xs[p] = pos.X
+				ys[p] = pos.Y
+			}
+			var cost float64
+			if grad == nil {
+				cost = m.axis(xs, nil) + m.axis(ys, nil)
+			} else {
+				gx, gy := s.gx[:deg], s.gy[:deg]
+				cost = m.axis(xs, gx) + m.axis(ys, gy)
+				for p, pi := range net.Pins {
+					m.pinGX[pi] = w * gx[p]
+					m.pinGY[pi] = w * gy[p]
 				}
 			}
+			m.costs[ni] = w * cost
 		}
-		total += w * cost
+	})
+
+	total := 0.0
+	for ni := range d.Nets {
+		if len(d.Nets[ni].Pins) >= 2 {
+			total += m.costs[ni]
+		}
+	}
+
+	if grad != nil {
+		n := len(m.idx)
+		parallel.For(workers, n, func(_, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				var gx, gy float64
+				for _, pi := range m.adjPin[m.adjOff[k]:m.adjOff[k+1]] {
+					gx += m.pinGX[pi]
+					gy += m.pinGY[pi]
+				}
+				grad[k] = gx
+				grad[k+n] = gy
+			}
+		})
 	}
 	return total
 }
 
 // axis computes the one-dimensional smooth span of the coordinates in
-// xs and, when g is non-nil, writes per-pin derivatives into g.
+// xs and, when g is non-nil, writes per-pin derivatives into g. It
+// reads only Kind and Gamma and is safe to call from worker goroutines.
 func (m *Model) axis(xs []float64, g []float64) float64 {
 	if m.Kind == LSE {
 		return m.axisLSE(xs, g)
