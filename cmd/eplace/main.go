@@ -7,6 +7,7 @@
 //	eplace -aux design.aux -out placed.pl
 //	eplace -synth 5000 -macros 10 -density 0.8 -out placed.pl
 //	eplace -aux design.aux -solver cg          # FFTPL mode (CG baseline)
+//	eplace -synth 5000 -trace out.jsonl -status :6060 -bench-out BENCH.json
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"eplace/internal/metrics"
 	"eplace/internal/netlist"
 	"eplace/internal/synth"
+	"eplace/internal/telemetry"
 	"eplace/internal/timing"
 	"eplace/internal/viz"
 )
@@ -41,6 +43,11 @@ func main() {
 		cgPasses = flag.Int("congestion", 0, "congestion-driven reweighting passes (extension)")
 		heatmap  = flag.String("heatmap", "", "directory for PGM heatmaps of the final layout")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+
+		tracePath = flag.String("trace", "", "write per-iteration telemetry as JSON lines to this file")
+		csvPath   = flag.String("trace-csv", "", "write per-iteration telemetry as CSV to this file")
+		statusAdr = flag.String("status", "", "serve live /status, /samples, expvar and pprof on this address (e.g. :6060)")
+		benchOut  = flag.String("bench-out", "", "write a machine-readable benchmark record (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -72,7 +79,44 @@ func main() {
 		fmt.Printf("design %s: %s\n", d.Name, d.Stats())
 	}
 
-	gp := core.Options{GridM: *gridM, MaxIters: *maxIters, Workers: *workers}
+	// Telemetry: assemble the sink stack the recorder fans out to.
+	var sinks []telemetry.Sink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("trace file: %v", err)
+		}
+		sinks = append(sinks, telemetry.NewJSONLSink(f))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal("trace CSV file: %v", err)
+		}
+		sinks = append(sinks, telemetry.NewCSVSink(f))
+	}
+	var ring *telemetry.RingSink
+	if *statusAdr != "" {
+		ring = telemetry.NewRingSink(4096)
+		sinks = append(sinks, ring)
+	}
+	var rec *telemetry.Recorder
+	if len(sinks) > 0 || *benchOut != "" {
+		rec = telemetry.New(sinks...)
+		rec.SetWorkers(*workers)
+	}
+	if *statusAdr != "" {
+		srv, err := telemetry.ServeStatus(*statusAdr, rec, ring)
+		if err != nil {
+			fatal("status server: %v", err)
+		}
+		defer srv.Close()
+		if !*quiet {
+			fmt.Printf("status        http://%s/status (pprof on /debug/pprof/)\n", srv.Addr())
+		}
+	}
+
+	gp := core.Options{GridM: *gridM, MaxIters: *maxIters, Workers: *workers, Telemetry: rec}
 	if *solver == "cg" {
 		gp.Solver = core.SolverCG
 	} else if *solver != "nesterov" {
@@ -132,10 +176,44 @@ func main() {
 			res.MLG.OuterIterations, res.MLG.OmBefore, res.MLG.OmAfter)
 		fmt.Printf("cGP           %d iters, tau %.4f\n", res.CGP.Iterations, res.CGP.Overflow)
 	}
-	for _, stage := range []string{"mIP", "mGP", "mLG", "cGP", "cDP"} {
-		if t, ok := res.StageTime[stage]; ok {
-			fmt.Printf("time %-8s %v\n", stage, t.Round(1e6))
+	for _, stage := range res.Stages {
+		fmt.Printf("time %-8s %v\n", stage.Name, stage.Time.Round(1e6))
+	}
+
+	if *benchOut != "" {
+		b := telemetry.BenchRecord{
+			Benchmark:  d.Name,
+			Cells:      len(d.Cells),
+			Nets:       len(d.Nets),
+			Pins:       len(d.Pins),
+			HPWL:       rep.HPWL,
+			ScaledHPWL: rep.ScaledHPWL,
+			Overflow:   rep.Overflow,
+			Legal:      rep.Legal,
+			Iterations: map[string]int{"mGP": res.MGP.Iterations},
 		}
+		if res.MixedSize {
+			b.Iterations["cGP"] = res.CGP.Iterations
+		}
+		for _, stage := range res.Stages {
+			b.Stages = append(b.Stages, telemetry.StageSeconds{
+				Name: stage.Name, Seconds: stage.Time.Seconds(),
+			})
+			b.Seconds += stage.Time.Seconds()
+		}
+		b.KernelsFrom(rec)
+		report := telemetry.NewBenchReport("eplace-cli")
+		report.Workers = *workers
+		report.Add(b)
+		if err := report.WriteFile(*benchOut); err != nil {
+			fatal("writing %s: %v", *benchOut, err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		fatal("closing telemetry sinks: %v", err)
 	}
 
 	if *heatmap != "" {

@@ -10,6 +10,7 @@
 //	experiments -exp fig2|fig3|fig5|fig6|fig7
 //	experiments -exp ablate-bktrk|ablate-precond|ablate-filler
 //	experiments -exp linesearch|rotation
+//	experiments -exp bench -bench-out BENCH_eplace.json
 //	experiments -exp all -scale 0.5         # everything, half-size circuits
 package main
 
@@ -30,6 +31,8 @@ func main() {
 		maxIters = flag.Int("iters", 0, "max GP iterations (0 = default)")
 		circuits = flag.Int("circuits", 0, "limit suite size for ablations/fig7 (0 = all)")
 		outDir   = flag.String("outdir", "", "directory for position CSV dumps (fig3)")
+		workers  = flag.Int("workers", 0, "gradient-kernel workers (0 = all cores)")
+		benchOut = flag.String("bench-out", "BENCH_eplace.json", "output path for -exp bench")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 	)
 	flag.Parse()
@@ -69,6 +72,15 @@ func main() {
 			experiments.LineSearchStudy(*scale, opt, out)
 		case "rotation":
 			experiments.RotationStudy(*scale, *circuits, opt, out)
+		case "bench":
+			report := experiments.BenchSuite(experiments.BenchOptions{
+				Scale: *scale, Circuits: *circuits, Workers: *workers, Log: progress,
+			})
+			if err := report.WriteFile(*benchOut); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *benchOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "wrote %s (%d records)\n", *benchOut, len(report.Records))
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
 			os.Exit(2)

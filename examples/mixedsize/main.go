@@ -46,8 +46,8 @@ func main() {
 		100*(res.MLG.WAfter/res.MLG.WBefore-1))
 
 	fmt.Println("\nstage wall-clock:")
-	for _, stage := range []string{"mIP", "mGP", "mLG", "cGP", "cDP"} {
-		fmt.Printf("  %-5s %v\n", stage, res.StageTime[stage].Round(1e6))
+	for _, stage := range res.Stages {
+		fmt.Printf("  %-5s %v\n", stage.Name, stage.Time.Round(1e6))
 	}
 	fmt.Printf("\nfinal: HPWL %.0f, legal=%v\n", res.HPWL, res.Legal)
 }

@@ -14,6 +14,7 @@ import (
 	"eplace/internal/nesterov"
 	"eplace/internal/netlist"
 	"eplace/internal/qp"
+	"eplace/internal/telemetry"
 	"eplace/internal/wirelength"
 )
 
@@ -30,6 +31,9 @@ type Options struct {
 	// Workers is the worker count for the shared LSE wirelength model
 	// (0 = all cores, 1 = serial); the bell-shape density stays serial.
 	Workers int
+	// Telemetry, when non-nil, receives one Sample per outer iteration
+	// (stage "BellPL").
+	Telemetry *telemetry.Recorder
 }
 
 func (o *Options) defaults() {
@@ -271,6 +275,12 @@ func Place(d *netlist.Design, idx []int, opt Options) Result {
 		d.SetPositions(idx, solver.V)
 		tau := overflowOf(d, idx, m)
 		res.Overflow = tau
+		if opt.Telemetry.Active() {
+			opt.Telemetry.Sample(telemetry.Sample{
+				Stage: "BellPL", Iteration: outer, HPWL: d.HPWL(),
+				Overflow: tau, Lambda: md.lam, Steps: solver.Steps(),
+			})
+		}
 		if tau <= opt.TargetOverflow {
 			break
 		}
@@ -278,8 +288,8 @@ func Place(d *netlist.Design, idx []int, opt Options) Result {
 	}
 	d.SetPositions(idx, solver.V)
 	clampCells(d, idx)
-	res.CostEvals = solver.CostEvals
-	res.GradEvals = solver.GradEvals
+	res.CostEvals = solver.CostEvals()
+	res.GradEvals = solver.GradEvals()
 	res.Overflow = overflowOf(d, idx, m)
 	res.HPWL = d.HPWL()
 	return res

@@ -6,6 +6,7 @@ import (
 
 	"eplace/internal/geom"
 	"eplace/internal/netlist"
+	"eplace/internal/telemetry"
 )
 
 // Options tunes the min-cut placer.
@@ -18,6 +19,9 @@ type Options struct {
 	FMPasses int
 	// Seed drives initial partitions (default 1).
 	Seed int64
+	// Telemetry, when non-nil, receives a bisection counter and a final
+	// Sample (stage "MinCutPL").
+	Telemetry *telemetry.Recorder
 }
 
 func (o *Options) defaults() {
@@ -53,6 +57,10 @@ func Place(d *netlist.Design, idx []int, opt Options) Result {
 	p.recurse(append([]int(nil), idx...), shrinkForFixed(d, d.Region), opt.Seed)
 	res.Bisections = p.bisections
 	res.HPWL = d.HPWL()
+	if opt.Telemetry.Active() {
+		opt.Telemetry.Count("mincut/bisections", int64(res.Bisections))
+		opt.Telemetry.Sample(telemetry.Sample{Stage: "MinCutPL", HPWL: res.HPWL})
+	}
 	return res
 }
 

@@ -19,6 +19,7 @@ import (
 	"eplace/internal/netlist"
 	"eplace/internal/qp"
 	"eplace/internal/sparse"
+	"eplace/internal/telemetry"
 )
 
 // Options tunes the quadratic placer.
@@ -32,6 +33,9 @@ type Options struct {
 	// AnchorWeight0 scales the per-round anchor weight
 	// w = AnchorWeight0 * 1.2^round (default 0.005).
 	AnchorWeight0 float64
+	// Telemetry, when non-nil, receives one Sample per round
+	// (stage "QuadPL").
+	Telemetry *telemetry.Recorder
 }
 
 func (o *Options) defaults() {
@@ -79,6 +83,13 @@ func Place(d *netlist.Design, idx []int, opt Options) Result {
 		d.SetPositions(idx, cur)
 		tau := overflowOf(d, idx, m)
 		res.Overflow = tau
+		if opt.Telemetry.Active() {
+			opt.Telemetry.Sample(telemetry.Sample{
+				Stage: "QuadPL", Iteration: round, HPWL: d.HPWL(),
+				Overflow: tau,
+				Lambda:   opt.AnchorWeight0 * math.Pow(1.2, float64(round)),
+			})
+		}
 		if tau <= opt.TargetOverflow {
 			break
 		}

@@ -9,6 +9,7 @@ import (
 	"eplace/internal/grid"
 	"eplace/internal/nesterov"
 	"eplace/internal/netlist"
+	"eplace/internal/telemetry"
 	"eplace/internal/wirelength"
 )
 
@@ -36,12 +37,15 @@ type engine struct {
 
 	stage string
 
-	// timing accumulators (Fig. 7)
-	densityTime time.Duration
-	wlTime      time.Duration
+	// rec aggregates the per-kernel wall times as telemetry spans
+	// (stage/wirelength, stage/density — the Fig. 7 breakdown). It is
+	// never nil: when the caller disables telemetry, PlaceGlobal
+	// substitutes a private sink-less recorder so Result timings stay
+	// populated.
+	rec *telemetry.Recorder
 }
 
-func newEngine(d *netlist.Design, idx []int, opt Options) *engine {
+func newEngine(d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorder) *engine {
 	m := opt.GridM
 	if m == 0 {
 		m = grid.ChooseM(len(d.Cells))
@@ -52,6 +56,7 @@ func newEngine(d *netlist.Design, idx []int, opt Options) *engine {
 		wl:     wirelength.New(d, idx, 1),
 		dm:     density.NewModelWorkers(d, m, opt.Workers),
 		opt:    opt,
+		rec:    rec,
 		degree: make([]float64, len(idx)),
 		qNorm:  make([]float64, len(idx)),
 		halfW:  make([]float64, len(idx)),
@@ -90,11 +95,12 @@ func (e *engine) gradient(v, g []float64) {
 	e.d.SetPositions(e.idx, v)
 	t0 := time.Now()
 	e.wl.CostAndGradient(e.gw)
-	e.wlTime += time.Since(t0)
+	e.rec.AddSpanTime(e.stage, "wirelength", time.Since(t0))
 	t0 = time.Now()
 	e.dm.Refresh(e.idx)
 	e.dm.Gradient(e.idx, e.gd)
-	e.densityTime += time.Since(t0)
+	e.rec.AddSpanTime(e.stage, "density", time.Since(t0))
+	e.rec.Count("engine/grad_evals", 1)
 
 	n := len(e.idx)
 	for k := 0; k < n; k++ {
@@ -117,10 +123,11 @@ func (e *engine) cost(v []float64) float64 {
 	e.d.SetPositions(e.idx, v)
 	t0 := time.Now()
 	w := e.wl.Cost()
-	e.wlTime += time.Since(t0)
+	e.rec.AddSpanTime(e.stage, "wirelength", time.Since(t0))
 	t0 = time.Now()
 	e.dm.Refresh(e.idx)
-	e.densityTime += time.Since(t0)
+	e.rec.AddSpanTime(e.stage, "density", time.Since(t0))
+	e.rec.Count("engine/cost_evals", 1)
 	return w + e.lambda*e.dm.Energy()
 }
 
@@ -167,7 +174,18 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 		res.HPWL = d.HPWL()
 		return res
 	}
-	e := newEngine(d, idx, opt)
+	// The engine always records kernel spans; a private sink-less
+	// recorder stands in when telemetry is disabled so the Result's
+	// Fig. 7 timing breakdown stays derivable from spans either way.
+	rec := opt.Telemetry
+	if rec == nil {
+		rec = telemetry.New()
+	}
+	rec.SetStage(stage)
+	wl0 := rec.SpanTime(stage, "wirelength")
+	den0 := rec.SpanTime(stage, "density")
+	prevWL, prevDen := wl0, den0
+	e := newEngine(d, idx, opt, rec)
 	e.stage = stage
 
 	v0 := d.Positions(idx)
@@ -217,7 +235,6 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 	iter := 0
 	for ; iter < opt.MaxIters; iter++ {
 		alpha, bt := stepNesterov()
-		res.Backtracks += bt
 
 		u := solution()
 		e.d.SetPositions(e.idx, u)
@@ -229,12 +246,28 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 			bestTauIter = iter
 			copy(best, u)
 		}
-		if opt.Trace != nil {
-			opt.Trace.Add(Sample{
+		if opt.Trace != nil || opt.Telemetry.Active() {
+			s := Sample{
 				Stage: stage, Iteration: iter,
 				HPWL: hpwl, Overflow: tau, Energy: e.dm.Energy(),
 				Lambda: e.lambda, Gamma: e.gamma, Alpha: alpha, Backtracks: bt,
-			})
+				GradWL: sumAbs(e.gw), GradDensity: sumAbs(e.gd),
+			}
+			if opt2 != nil {
+				s.Steps = opt2.Steps()
+				s.Restarts = opt2.Restarts()
+			} else {
+				s.Steps = cg.Steps()
+			}
+			wlNow := rec.SpanTime(stage, "wirelength")
+			denNow := rec.SpanTime(stage, "density")
+			s.WirelengthTime = wlNow - prevWL
+			s.DensityTime = denNow - prevDen
+			prevWL, prevDen = wlNow, denNow
+			if opt.Trace != nil {
+				opt.Trace.Add(s)
+			}
+			opt.Telemetry.Sample(s)
 		}
 
 		if math.IsNaN(hpwl) || hpwl > 20*math.Max(hpwl0, 1) {
@@ -284,14 +317,29 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 	res.HPWL = d.HPWL()
 	res.Overflow = e.dm.Overflow(d.TargetDensity)
 	res.FinalLambda = e.lambda
-	if cg != nil {
-		res.CostEvals = cg.CostEvals
+	// Run statistics come from the optimizer accessors rather than
+	// per-step mirroring.
+	if opt2 != nil {
+		res.Backtracks = opt2.Backtracks()
+		res.Restarts = opt2.Restarts()
 	}
-	res.DensityTime = e.densityTime
-	res.WirelengthTime = e.wlTime
+	if cg != nil {
+		res.CostEvals = cg.CostEvals()
+	}
+	res.DensityTime = rec.SpanTime(stage, "density") - den0
+	res.WirelengthTime = rec.SpanTime(stage, "wirelength") - wl0
 	res.Total = time.Since(start)
 	res.OtherTime = res.Total - res.DensityTime - res.WirelengthTime
 	return res
+}
+
+// sumAbs returns the L1 norm of x (gradient magnitudes for samples).
+func sumAbs(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
 }
 
 // clampCells writes region-clamped positions back to the design.

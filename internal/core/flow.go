@@ -9,6 +9,7 @@ import (
 	"eplace/internal/legalize"
 	"eplace/internal/netlist"
 	"eplace/internal/qp"
+	"eplace/internal/telemetry"
 )
 
 // FlowOptions configures the full placement flow of Fig. 1.
@@ -45,6 +46,12 @@ func (o *FlowOptions) defaults() {
 	}
 }
 
+// StageSpan is one completed flow stage and its wall-clock time.
+type StageSpan struct {
+	Name string
+	Time time.Duration
+}
+
 // FlowResult aggregates per-stage results of one full placement.
 type FlowResult struct {
 	MGP Result
@@ -60,8 +67,20 @@ type FlowResult struct {
 	// MixedSize reports whether the mLG/cGP stages ran.
 	MixedSize bool
 
-	// Stage wall-clock times (Fig. 7): mIP, mGP, mLG, cGP, cDP.
+	// Stages lists every stage that ran, in execution order, with its
+	// wall-clock time (Fig. 7). Reports should iterate this rather
+	// than a hardcoded stage list so new stages cannot be dropped.
+	Stages []StageSpan
+	// StageTime indexes Stages by name.
 	StageTime map[string]time.Duration
+}
+
+// addStage appends a completed stage to both the ordered list and the
+// name index, and emits its span to telemetry.
+func (r *FlowResult) addStage(rec *telemetry.Recorder, name string, d time.Duration) {
+	r.Stages = append(r.Stages, StageSpan{Name: name, Time: d})
+	r.StageTime[name] = d
+	rec.EmitSpan(name, "", d)
 }
 
 // Place runs the complete ePlace flow on d: quadratic initial placement
@@ -72,6 +91,14 @@ type FlowResult struct {
 func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 	opt.defaults()
 	res := FlowResult{StageTime: map[string]time.Duration{}}
+	rec := opt.GP.Telemetry
+	// emit forwards one sample to both the legacy Trace and telemetry.
+	emit := func(s Sample) {
+		if opt.GP.Trace != nil {
+			opt.GP.Trace.Add(s)
+		}
+		rec.Sample(s)
+	}
 
 	movable := d.Movable()
 	stdCells := d.MovableOf(netlist.StdCell)
@@ -79,9 +106,13 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 	res.MixedSize = len(movMacros) > 0
 
 	// --- mIP: quadratic wirelength minimization over all movables. ---
+	rec.SetStage("mIP")
 	t0 := time.Now()
 	qp.Place(d, movable, opt.MIP)
-	res.StageTime["mIP"] = time.Since(t0)
+	res.addStage(rec, "mIP", time.Since(t0))
+	if rec.Active() {
+		emit(Sample{Stage: "mIP", HPWL: d.HPWL()})
+	}
 
 	// --- mGP: co-place cells, macros and fillers. ---
 	t0 = time.Now()
@@ -97,20 +128,24 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 	if opt.MacroHalo > 0 {
 		inflateMacros(d, movMacros, -opt.MacroHalo)
 	}
-	res.StageTime["mGP"] = time.Since(t0)
+	res.addStage(rec, "mGP", time.Since(t0))
 	if res.MGP.Diverged {
 		return res, fmt.Errorf("core: mGP diverged")
 	}
 
 	if res.MixedSize {
 		// --- mLG: legalize and fix macros (std cells held). ---
+		rec.SetStage("mLG")
 		t0 = time.Now()
 		mlgOpt := opt.MLG
 		if mlgOpt.Seed == 0 {
 			mlgOpt.Seed = opt.GP.Seed + 2
 		}
+		if mlgOpt.Telemetry == nil {
+			mlgOpt.Telemetry = rec
+		}
 		res.MLG = legalize.Macros(d, movMacros, mlgOpt)
-		res.StageTime["mLG"] = time.Since(t0)
+		res.addStage(rec, "mLG", time.Since(t0))
 		if !res.MLG.Legal {
 			return res, fmt.Errorf("core: mLG left macro overlap %v", res.MLG.OmAfter)
 		}
@@ -139,7 +174,7 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 		lambdaInit := res.MGP.FinalLambda * math.Pow(1.1, -m)
 		cgpIdx := append(append([]int(nil), stdCells...), fillers...)
 		res.CGP = PlaceGlobal(d, cgpIdx, opt.GP, "cGP", lambdaInit)
-		res.StageTime["cGP"] = time.Since(t0)
+		res.addStage(rec, "cGP", time.Since(t0))
 		if res.CGP.Diverged {
 			return res, fmt.Errorf("core: cGP diverged")
 		}
@@ -154,6 +189,7 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 	}
 
 	// --- cDP: row legalization + discrete refinement. ---
+	rec.SetStage("cDP")
 	t0 = time.Now()
 	if len(d.Rows) == 0 {
 		h := stdCellHeight(d)
@@ -162,17 +198,25 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 		}
 		legalize.BuildRows(d, h, 0)
 	}
+	tLG := time.Now()
 	if _, _, err := legalize.Cells(d, stdCells, opt.LegalizeMethod); err != nil {
 		return res, fmt.Errorf("core: legalization failed: %w", err)
 	}
+	rec.AddSpanTime("cDP", "legalize", time.Since(tLG))
 	if !opt.SkipDetail {
+		dOpt := opt.Detail
+		if dOpt.Telemetry == nil {
+			dOpt.Telemetry = rec
+		}
+		tDP := time.Now()
 		var err error
-		res.DP, err = detail.Place(d, stdCells, opt.Detail)
+		res.DP, err = detail.Place(d, stdCells, dOpt)
 		if err != nil {
 			return res, fmt.Errorf("core: detail placement failed: %w", err)
 		}
+		rec.AddSpanTime("cDP", "detail", time.Since(tDP))
 	}
-	res.StageTime["cDP"] = time.Since(t0)
+	res.addStage(rec, "cDP", time.Since(t0))
 
 	res.HPWL = d.HPWL()
 	res.Legal = legalize.CheckLegal(d, stdCells) == nil

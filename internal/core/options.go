@@ -7,9 +7,10 @@
 package core
 
 import (
-	"fmt"
 	"io"
 	"time"
+
+	"eplace/internal/telemetry"
 )
 
 // SolverKind selects the nonlinear optimizer.
@@ -69,6 +70,12 @@ type Options struct {
 
 	// Trace, when non-nil, records one Sample per iteration.
 	Trace *Trace
+
+	// Telemetry, when non-nil, receives per-iteration samples,
+	// stage/kernel spans and counters for the whole flow (JSONL/CSV
+	// sinks, live status endpoint, benchmark reports). nil disables
+	// recording at zero cost; results are bitwise-identical either way.
+	Telemetry *telemetry.Recorder
 }
 
 func (o *Options) defaults() {
@@ -103,6 +110,8 @@ type Result struct {
 	Stagnated bool
 	// Backtracks is the total BkTrk count (Nesterov only).
 	Backtracks int
+	// Restarts is the adaptive-restart count (Nesterov only).
+	Restarts int
 	// Timing breakdown (Fig. 7).
 	DensityTime    time.Duration
 	WirelengthTime time.Duration
@@ -114,18 +123,9 @@ type Result struct {
 	FinalLambda float64
 }
 
-// Sample is one iteration record for Figures 2 and 3.
-type Sample struct {
-	Stage      string
-	Iteration  int
-	HPWL       float64
-	Overflow   float64
-	Energy     float64
-	Lambda     float64
-	Gamma      float64
-	Alpha      float64
-	Backtracks int
-}
+// Sample is one iteration record for Figures 2 and 3, shared with the
+// telemetry subsystem (the JSONL schema lives there).
+type Sample = telemetry.Sample
 
 // Trace accumulates per-iteration samples across stages.
 type Trace struct {
@@ -147,17 +147,8 @@ func (t *Trace) Stage(name string) []Sample {
 }
 
 // WriteCSV emits the trace as CSV (stage,iter,hpwl,tau,energy,lambda,
-// gamma,alpha,backtracks), the raw data behind Figure 2.
+// gamma,alpha,backtracks), the raw data behind Figure 2. It adapts
+// onto the telemetry CSV sink so the two formats cannot drift.
 func (t *Trace) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "stage,iter,hpwl,tau,energy,lambda,gamma,alpha,backtracks"); err != nil {
-		return err
-	}
-	for _, s := range t.Samples {
-		if _, err := fmt.Fprintf(w, "%s,%d,%.8g,%.6f,%.8g,%.8g,%.8g,%.8g,%d\n",
-			s.Stage, s.Iteration, s.HPWL, s.Overflow, s.Energy,
-			s.Lambda, s.Gamma, s.Alpha, s.Backtracks); err != nil {
-			return err
-		}
-	}
-	return nil
+	return telemetry.WriteSamplesCSV(w, t.Samples)
 }

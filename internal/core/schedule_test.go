@@ -8,11 +8,12 @@ import (
 
 	"eplace/internal/netlist"
 	"eplace/internal/synth"
+	"eplace/internal/telemetry"
 )
 
 func TestGammaSchedule(t *testing.T) {
 	d := testCircuit(100, 31)
-	e := newEngine(d, d.Movable(), Options{GridM: 32})
+	e := newEngine(d, d.Movable(), Options{GridM: 32}, telemetry.New())
 	bw := math.Min(e.dm.Grid.BinW, e.dm.Grid.BinH)
 	// At tau = 1: gamma = 8*binW*10^{0.9*20/9 - 1} = 8*binW*10.
 	e.updateGamma(1.0)
@@ -36,7 +37,7 @@ func TestGammaSchedule(t *testing.T) {
 func TestLambdaInitBalancesGradients(t *testing.T) {
 	d := testCircuit(200, 32)
 	idx := d.Movable()
-	e := newEngine(d, idx, Options{GridM: 32})
+	e := newEngine(d, idx, Options{GridM: 32}, telemetry.New())
 	v := d.Positions(idx)
 	e.initLambda(v)
 	if e.lambda <= 0 || math.IsInf(e.lambda, 0) || math.IsNaN(e.lambda) {
@@ -93,7 +94,7 @@ func TestPreconditionerFloorsAtTinyLambda(t *testing.T) {
 	// preconditioner must hit its floor rather than divide by ~zero.
 	d.AddCell(netlistCell(1, 1, 5, 5))
 	idx := d.Movable()
-	e := newEngine(d, idx, Options{GridM: 32})
+	e := newEngine(d, idx, Options{GridM: 32}, telemetry.New())
 	e.lambda = 1e-12
 	v := d.Positions(idx)
 	g := make([]float64, len(v))

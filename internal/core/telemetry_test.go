@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"eplace/internal/telemetry"
+)
+
+// runFlow places a fresh copy of the test circuit and returns the final
+// positions together with the flow result.
+func runFlow(t *testing.T, rec *telemetry.Recorder) ([]float64, FlowResult) {
+	t.Helper()
+	d := testCircuit(220, 7)
+	opt := FlowOptions{}
+	opt.GP.MaxIters = 60
+	opt.GP.GridM = 32
+	opt.GP.Telemetry = rec
+	res, err := Place(d, opt)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	return d.Positions(d.Movable()), res
+}
+
+// TestTelemetryDoesNotPerturbPlacement is the determinism guarantee:
+// instrumentation only reads optimizer state, so running with a live
+// recorder (sinks attached) must produce bitwise-identical positions to
+// running with telemetry disabled.
+func TestTelemetryDoesNotPerturbPlacement(t *testing.T) {
+	ring := telemetry.NewRingSink(256)
+	rec := telemetry.New(ring)
+	posOn, resOn := runFlow(t, rec)
+	posOff, resOff := runFlow(t, nil)
+	if len(posOn) != len(posOff) {
+		t.Fatalf("position vector length mismatch: %d vs %d", len(posOn), len(posOff))
+	}
+	for i := range posOn {
+		if posOn[i] != posOff[i] {
+			t.Fatalf("position %d differs with telemetry on: %v vs %v", i, posOn[i], posOff[i])
+		}
+	}
+	if resOn.HPWL != resOff.HPWL {
+		t.Errorf("HPWL differs with telemetry on: %v vs %v", resOn.HPWL, resOff.HPWL)
+	}
+	if rec.Samples() == 0 {
+		t.Error("recorder collected no samples")
+	}
+	if len(ring.Samples()) == 0 {
+		t.Error("ring sink received no samples")
+	}
+}
+
+// TestFlowRecordsStageAndKernelSpans checks that a full flow populates
+// the ordered stage list, the name index, and the per-kernel span
+// aggregates the Fig. 7 breakdown is derived from.
+func TestFlowRecordsStageAndKernelSpans(t *testing.T) {
+	rec := telemetry.New()
+	_, res := runFlow(t, rec)
+
+	if len(res.Stages) == 0 {
+		t.Fatal("FlowResult.Stages is empty")
+	}
+	if res.Stages[0].Name != "mIP" {
+		t.Errorf("first stage = %q, want mIP", res.Stages[0].Name)
+	}
+	last := res.Stages[len(res.Stages)-1]
+	if last.Name != "cDP" {
+		t.Errorf("last stage = %q, want cDP", last.Name)
+	}
+	if len(res.Stages) != len(res.StageTime) {
+		t.Errorf("Stages has %d entries, StageTime has %d", len(res.Stages), len(res.StageTime))
+	}
+	for _, st := range res.Stages {
+		if got, ok := res.StageTime[st.Name]; !ok || got != st.Time {
+			t.Errorf("StageTime[%q] = %v (present %v), want %v", st.Name, got, ok, st.Time)
+		}
+	}
+
+	// Kernel aggregates: the engine must have timed both gradient
+	// kernels under the mGP stage, and cDP must carry its sub-phases.
+	if rec.SpanTime("mGP", "wirelength") <= 0 {
+		t.Error("no mGP/wirelength span time recorded")
+	}
+	if rec.SpanTime("mGP", "density") <= 0 {
+		t.Error("no mGP/density span time recorded")
+	}
+	if rec.SpanTime("cDP", "legalize") <= 0 {
+		t.Error("no cDP/legalize span time recorded")
+	}
+	if rec.SpanTime("cDP", "detail") <= 0 {
+		t.Error("no cDP/detail span time recorded")
+	}
+	// Stage-level spans were emitted for every completed stage.
+	for _, st := range res.Stages {
+		if rec.SpanTime(st.Name, "") != st.Time {
+			t.Errorf("span %q = %v, want stage time %v", st.Name, rec.SpanTime(st.Name, ""), st.Time)
+		}
+	}
+	if n := rec.Snapshot().Counters; len(n) == 0 {
+		t.Error("no counters recorded (expected engine/grad_evals at least)")
+	}
+}
+
+// TestResultTimingFromSpans checks that the engine's per-stage timing
+// breakdown (satellite: densityTime/wlTime migrated onto spans) still
+// reaches Result even when the caller supplies no recorder, and that
+// recorder reuse across stages does not double-count.
+func TestResultTimingFromSpans(t *testing.T) {
+	rec := telemetry.New()
+	_, res := runFlow(t, rec)
+	if res.MGP.DensityTime <= 0 || res.MGP.WirelengthTime <= 0 {
+		t.Errorf("mGP kernel times not populated: density=%v wl=%v",
+			res.MGP.DensityTime, res.MGP.WirelengthTime)
+	}
+	// The per-result times must not exceed the recorder's aggregate for
+	// the stage (they are deltas against the stage-entry baseline).
+	if res.MGP.DensityTime > rec.SpanTime("mGP", "density") {
+		t.Errorf("result density time %v exceeds span aggregate %v",
+			res.MGP.DensityTime, rec.SpanTime("mGP", "density"))
+	}
+}

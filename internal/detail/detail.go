@@ -15,6 +15,7 @@ import (
 
 	"eplace/internal/legalize"
 	"eplace/internal/netlist"
+	"eplace/internal/telemetry"
 )
 
 // Options tunes detail placement.
@@ -31,6 +32,9 @@ type Options struct {
 	ISMSetSize int
 	// DisableISM turns off independent-set matching.
 	DisableISM bool
+	// Telemetry, when non-nil, receives one Sample per improvement pass
+	// (stage "cDP") plus swap/reorder/relocate/ISM counters.
+	Telemetry *telemetry.Recorder
 }
 
 func (o *Options) defaults() {
@@ -91,11 +95,20 @@ func Place(d *netlist.Design, cells []int, opt Options) (Result, error) {
 			improved += p.ismPass(cells, &res)
 		}
 		improved += p.relocatePass(&res)
+		if opt.Telemetry.Active() {
+			opt.Telemetry.Sample(telemetry.Sample{
+				Stage: "cDP", Iteration: pass, HPWL: d.HPWL(),
+			})
+		}
 		if improved == 0 {
 			break
 		}
 	}
 	res.HPWLAfter = d.HPWL()
+	opt.Telemetry.Count("cDP/swaps", int64(res.Swaps))
+	opt.Telemetry.Count("cDP/reorders", int64(res.Reorders))
+	opt.Telemetry.Count("cDP/relocates", int64(res.Relocates))
+	opt.Telemetry.Count("cDP/ism_rounds", int64(res.ISMRounds))
 	return res, nil
 }
 

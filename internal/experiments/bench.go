@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"eplace/internal/core"
+	"eplace/internal/metrics"
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+	"eplace/internal/telemetry"
+)
+
+// BenchOptions tunes the machine-readable benchmark harness.
+type BenchOptions struct {
+	// Scale shrinks the suite cell counts (default 0.2).
+	Scale float64
+	// Circuits limits how many ISPD05 circuits run (0 = all).
+	Circuits int
+	// Workers is the gradient-kernel worker count (0 = all cores).
+	Workers int
+	// Log, when non-nil, receives one progress line per circuit.
+	Log io.Writer
+}
+
+// BenchDesign places d with the full ePlace flow under a fresh recorder
+// and returns its benchmark record: quality metrics plus the stage and
+// kernel timing breakdown.
+func BenchDesign(d *netlist.Design, opt RunOptions) telemetry.BenchRecord {
+	rec := telemetry.New()
+	if opt.Telemetry == nil {
+		opt.Telemetry = rec
+	} else {
+		rec = opt.Telemetry
+	}
+	start := time.Now()
+	flowRes, err := core.Place(d, core.FlowOptions{
+		GP: core.Options{
+			GridM: opt.GridM, MaxIters: opt.MaxIters, Trace: opt.Trace,
+			Workers: opt.Workers, Telemetry: opt.Telemetry,
+		},
+		SkipDetail: opt.SkipDetail,
+	})
+	elapsed := time.Since(start).Seconds()
+	rep := metrics.Measure(d.Name, string(EPlace), d, opt.GridM, elapsed, flowRes.Legal)
+
+	b := telemetry.BenchRecord{
+		Benchmark:  d.Name,
+		Cells:      len(d.Cells),
+		Nets:       len(d.Nets),
+		Pins:       len(d.Pins),
+		HPWL:       rep.HPWL,
+		ScaledHPWL: rep.ScaledHPWL,
+		Overflow:   rep.Overflow,
+		Legal:      rep.Legal,
+		Failed:     err != nil,
+		Seconds:    elapsed,
+		Iterations: map[string]int{},
+	}
+	if flowRes.MGP.Iterations > 0 {
+		b.Iterations["mGP"] = flowRes.MGP.Iterations
+	}
+	if flowRes.CGP.Iterations > 0 {
+		b.Iterations["cGP"] = flowRes.CGP.Iterations
+	}
+	for _, st := range flowRes.Stages {
+		b.Stages = append(b.Stages, telemetry.StageSeconds{
+			Name: st.Name, Seconds: st.Time.Seconds(),
+		})
+	}
+	b.KernelsFrom(rec)
+	return b
+}
+
+// BenchSuite runs the ePlace flow over the scaled ISPD05 suite and
+// returns the BENCH_eplace.json payload. Each circuit gets a fresh
+// recorder so per-circuit kernel aggregates do not bleed together.
+func BenchSuite(opt BenchOptions) *telemetry.BenchReport {
+	if opt.Scale <= 0 {
+		opt.Scale = 0.2
+	}
+	specs := synth.ISPD05Suite(opt.Scale)
+	if opt.Circuits > 0 && opt.Circuits < len(specs) {
+		specs = specs[:opt.Circuits]
+	}
+	report := telemetry.NewBenchReport("eplace-ispd05")
+	report.Scale = opt.Scale
+	report.Workers = opt.Workers
+	for _, spec := range specs {
+		d := synth.Generate(spec)
+		b := BenchDesign(d, RunOptions{Workers: opt.Workers})
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "bench %-10s cells=%-6d HPWL=%.4g tau=%.3f legal=%v %.2fs\n",
+				b.Benchmark, b.Cells, b.HPWL, b.Overflow, b.Legal, b.Seconds)
+		}
+		report.Add(b)
+	}
+	report.Sort()
+	return report
+}

@@ -131,6 +131,7 @@ func Fig7(scale float64, opt RunOptions, circuits int, out io.Writer) {
 		suite = suite[:circuits]
 	}
 	stageTotals := map[string]float64{}
+	var stageOrder []string
 	var density, wl, other, mgpTotal float64
 	total := 0.0
 	for _, spec := range suite {
@@ -141,9 +142,12 @@ func Fig7(scale float64, opt RunOptions, circuits int, out io.Writer) {
 			fmt.Fprintf(out, "# %s failed: %v\n", spec.Name, err)
 			continue
 		}
-		for stage, t := range res.StageTime {
-			stageTotals[stage] += t.Seconds()
-			total += t.Seconds()
+		for _, stage := range res.Stages {
+			if _, seen := stageTotals[stage.Name]; !seen {
+				stageOrder = append(stageOrder, stage.Name)
+			}
+			stageTotals[stage.Name] += stage.Time.Seconds()
+			total += stage.Time.Seconds()
 		}
 		density += res.MGP.DensityTime.Seconds()
 		wl += res.MGP.WirelengthTime.Seconds()
@@ -152,7 +156,7 @@ func Fig7(scale float64, opt RunOptions, circuits int, out io.Writer) {
 	}
 	fmt.Fprintf(out, "# Figure 7: runtime breakdown, average of MMS-like suite (%d circuits)\n", len(suite))
 	fmt.Fprintf(out, "stage,share%%\n")
-	for _, stage := range []string{"mIP", "mGP", "mLG", "cGP", "cDP"} {
+	for _, stage := range stageOrder {
 		fmt.Fprintf(out, "%s,%.1f\n", stage, 100*stageTotals[stage]/total)
 	}
 	fmt.Fprintf(out, "# within mGP (paper: density 57%%, wirelength 29%%, other 14%%):\n")

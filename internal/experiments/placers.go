@@ -21,6 +21,7 @@ import (
 	"eplace/internal/netlist"
 	"eplace/internal/qp"
 	"eplace/internal/synth"
+	"eplace/internal/telemetry"
 )
 
 // Placer identifies one competitor.
@@ -55,6 +56,9 @@ type RunOptions struct {
 	Trace *core.Trace
 	// Workers is the gradient-kernel worker count (0 = all cores).
 	Workers int
+	// Telemetry, when non-nil, receives samples, spans and counters
+	// from whichever placer runs.
+	Telemetry *telemetry.Recorder
 }
 
 // Run places design d with the given placer and returns the scorecard.
@@ -68,7 +72,10 @@ func Run(d *netlist.Design, p Placer, opt RunOptions) metrics.Report {
 	movable := d.Movable()
 	failed := false
 
-	gpOpt := core.Options{GridM: opt.GridM, MaxIters: opt.MaxIters, Trace: opt.Trace, Workers: opt.Workers}
+	gpOpt := core.Options{
+		GridM: opt.GridM, MaxIters: opt.MaxIters, Trace: opt.Trace,
+		Workers: opt.Workers, Telemetry: opt.Telemetry,
+	}
 
 	switch p {
 	case EPlace, FFTPL:
@@ -84,13 +91,16 @@ func Run(d *netlist.Design, p Placer, opt RunOptions) metrics.Report {
 		rep.Failed = err != nil
 		return rep
 	case Quadratic:
-		qres := quadratic.Place(d, movable, quadratic.Options{GridM: opt.GridM})
+		opt.Telemetry.SetStage(string(Quadratic))
+		qres := quadratic.Place(d, movable, quadratic.Options{GridM: opt.GridM, Telemetry: opt.Telemetry})
 		failed = qres.Iterations == 0 && len(movable) > 0
 	case BellShape:
-		bres := bellshape.Place(d, movable, bellshape.Options{GridM: opt.GridM, Workers: opt.Workers})
+		opt.Telemetry.SetStage(string(BellShape))
+		bres := bellshape.Place(d, movable, bellshape.Options{GridM: opt.GridM, Workers: opt.Workers, Telemetry: opt.Telemetry})
 		failed = bres.OuterIterations == 0 && len(movable) > 0
 	case MinCut:
-		mincut.Place(d, movable, mincut.Options{})
+		opt.Telemetry.SetStage(string(MinCut))
+		mincut.Place(d, movable, mincut.Options{Telemetry: opt.Telemetry})
 	default:
 		panic(fmt.Sprintf("experiments: unknown placer %q", p))
 	}

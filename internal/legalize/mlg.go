@@ -6,6 +6,7 @@ import (
 
 	"eplace/internal/geom"
 	"eplace/internal/netlist"
+	"eplace/internal/telemetry"
 )
 
 // MLGOptions tunes the annealing macro legalizer.
@@ -26,6 +27,10 @@ type MLGOptions struct {
 	// the paper mentions but disables to follow contest protocols
 	// (Sec. III). Pin offsets rotate with the macro.
 	AllowOrient bool
+	// Telemetry, when non-nil, receives one Sample per outer iteration
+	// (stage "mLG": HPWL=W, Energy=D, Overlap=Om, the Fig. 5 metrics)
+	// plus move/accept counters.
+	Telemetry *telemetry.Recorder
 }
 
 func (o *MLGOptions) defaults() {
@@ -308,7 +313,13 @@ func Macros(d *netlist.Design, macros []int, opt MLGOptions) MLGResult {
 			}
 		}
 		muO *= opt.Kappa
+		opt.Telemetry.Sample(telemetry.Sample{
+			Stage: "mLG", Iteration: outer,
+			HPWL: s.W, Energy: s.D, Overlap: s.Om,
+		})
 	}
+	opt.Telemetry.Count("mLG/moves", int64(res.Moves))
+	opt.Telemetry.Count("mLG/accepted", int64(res.Accepted))
 
 	// Deterministic cleanup: resolve any residual overlap by shoving
 	// pairs apart along the cheaper axis.

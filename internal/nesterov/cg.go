@@ -31,11 +31,8 @@ type CGSolver struct {
 	prevGrad []float64
 	haveDir  bool
 
-	// CostEvals counts objective evaluations inside line search, the
-	// quantity footnote 2 is about.
-	CostEvals int
-	// GradEvals counts gradient evaluations.
-	GradEvals int
+	costEvals int
+	gradEvals int
 	steps     int
 }
 
@@ -57,12 +54,19 @@ func NewCG(v0 []float64, cost CostFunc, g GradFunc, clamp ClampFunc, initStep fl
 		prevGrad:  make([]float64, n),
 	}
 	s.grad(s.V, s.Grad)
-	s.GradEvals++
+	s.gradEvals++
 	return s
 }
 
 // Steps returns the number of Step calls so far.
 func (s *CGSolver) Steps() int { return s.steps }
+
+// CostEvals returns the objective evaluations spent inside line
+// search, the quantity footnote 2 is about.
+func (s *CGSolver) CostEvals() int { return s.costEvals }
+
+// GradEvals returns the gradient evaluations so far.
+func (s *CGSolver) GradEvals() int { return s.gradEvals }
 
 // Step performs one CG iteration (direction update + line search) and
 // returns the accepted steplength.
@@ -100,7 +104,7 @@ func (s *CGSolver) Step() float64 {
 	}
 
 	f0 := s.cost(s.V)
-	s.CostEvals++
+	s.costEvals++
 	dg := 0.0
 	for i := 0; i < n; i++ {
 		dg += s.dir[i] * s.Grad[i]
@@ -115,7 +119,7 @@ func (s *CGSolver) Step() float64 {
 			s.clamp(s.cand)
 		}
 		f := s.cost(s.cand)
-		s.CostEvals++
+		s.costEvals++
 		if f <= f0+s.C1*step*dg {
 			accepted = step
 			break
@@ -130,7 +134,7 @@ func (s *CGSolver) Step() float64 {
 	copy(s.V, s.cand)
 	copy(s.prevGrad, s.Grad)
 	s.grad(s.V, s.Grad)
-	s.GradEvals++
+	s.gradEvals++
 	// Warm-start the next search near the accepted step.
 	s.InitStep = math.Max(accepted*2, 1e-12)
 	s.steps++

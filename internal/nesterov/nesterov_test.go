@@ -249,11 +249,11 @@ func TestCGCountsLineSearchEvals(t *testing.T) {
 	for k := 0; k < 20; k++ {
 		s.Step()
 	}
-	if s.CostEvals <= 20 {
-		t.Errorf("CostEvals = %d, expected more than one per iteration", s.CostEvals)
+	if s.CostEvals() <= 20 {
+		t.Errorf("CostEvals = %d, expected more than one per iteration", s.CostEvals())
 	}
-	if s.GradEvals < 20 {
-		t.Errorf("GradEvals = %d", s.GradEvals)
+	if s.GradEvals() < 20 {
+		t.Errorf("GradEvals = %d", s.GradEvals())
 	}
 }
 
@@ -319,7 +319,7 @@ func TestNesterovEvalsPerIterationNearOne(t *testing.T) {
 	for k := 0; k < iters; k++ {
 		s.Step()
 	}
-	cgPerIter := float64(s.CostEvals+s.GradEvals) / float64(iters)
+	cgPerIter := float64(s.CostEvals()+s.GradEvals()) / float64(iters)
 
 	if perIter > 2.0 {
 		t.Errorf("Nesterov evals/iter = %v, want near 1", perIter)

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// StageSeconds is one stage's wall time in a benchmark record, kept as
+// an ordered list so no stage can be silently dropped from reports.
+type StageSeconds struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// BenchRecord is the machine-readable scorecard of one benchmark run:
+// quality, iteration counts, and the stage/kernel timing breakdown
+// (the paper's Tables I-III plus Fig. 7 in one JSON object).
+type BenchRecord struct {
+	Benchmark  string  `json:"benchmark"`
+	Cells      int     `json:"cells"`
+	Nets       int     `json:"nets"`
+	Pins       int     `json:"pins"`
+	HPWL       float64 `json:"hpwl"`
+	ScaledHPWL float64 `json:"scaled_hpwl,omitempty"`
+	Overflow   float64 `json:"tau"`
+	Legal      bool    `json:"legal"`
+	Failed     bool    `json:"failed,omitempty"`
+	Seconds    float64 `json:"seconds"`
+	// Iterations maps GP stage name to iteration count.
+	Iterations map[string]int `json:"iterations,omitempty"`
+	// Stages lists per-stage wall times in execution order.
+	Stages []StageSeconds `json:"stages,omitempty"`
+	// Kernels maps "stage/kernel" span paths to aggregate seconds
+	// (e.g. "mGP/density"), the Fig. 7 gradient breakdown.
+	Kernels map[string]float64 `json:"kernels,omitempty"`
+}
+
+// KernelsFrom fills the record's Kernels map from a recorder's span
+// aggregates, keeping only kernel-level spans.
+func (b *BenchRecord) KernelsFrom(r *Recorder) {
+	totals := r.SpanTotals()
+	if len(totals) == 0 {
+		return
+	}
+	if b.Kernels == nil {
+		b.Kernels = map[string]float64{}
+	}
+	for _, st := range totals {
+		if st.Kernel == "" {
+			continue
+		}
+		b.Kernels[st.Stage+"/"+st.Kernel] += st.Seconds
+	}
+}
+
+// BenchReport is the full BENCH_eplace.json payload: environment
+// fingerprint plus one record per benchmark.
+type BenchReport struct {
+	Name      string        `json:"name"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Workers   int           `json:"workers,omitempty"`
+	Scale     float64       `json:"scale,omitempty"`
+	Records   []BenchRecord `json:"records"`
+}
+
+// NewBenchReport creates a report stamped with the runtime environment.
+func NewBenchReport(name string) *BenchReport {
+	return &BenchReport{
+		Name:      name,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+}
+
+// Add appends a record.
+func (b *BenchReport) Add(rec BenchRecord) { b.Records = append(b.Records, rec) }
+
+// Sort orders records by benchmark name for stable diffs.
+func (b *BenchReport) Sort() {
+	sort.SliceStable(b.Records, func(i, j int) bool {
+		return b.Records[i].Benchmark < b.Records[j].Benchmark
+	})
+}
+
+// Write emits the report as indented JSON.
+func (b *BenchReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteFile writes the report to path.
+func (b *BenchReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBenchReport decodes a report written by Write.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	var b BenchReport
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := NewBenchReport("eplace-synthetic")
+	if rep.GoVersion == "" || rep.CPUs <= 0 {
+		t.Fatalf("environment fingerprint missing: %+v", rep)
+	}
+	rep.Scale = 0.25
+
+	rec := New()
+	rec.AddSpanTime("mGP", "density", 3*time.Second)
+	rec.AddSpanTime("mGP", "wirelength", time.Second)
+	rec.AddSpanTime("cGP", "density", time.Second)
+	rec.EmitSpan("mGP", "", 5*time.Second) // stage span: not a kernel
+
+	b := BenchRecord{
+		Benchmark: "ADAPTEC1", Cells: 2110, Nets: 2000, Pins: 7000,
+		HPWL: 1.5e6, Overflow: 0.09, Legal: true, Seconds: 12.5,
+		Iterations: map[string]int{"mGP": 300, "cGP": 120},
+		Stages: []StageSeconds{
+			{Name: "mIP", Seconds: 0.5}, {Name: "mGP", Seconds: 5},
+		},
+	}
+	b.KernelsFrom(rec)
+	if b.Kernels["mGP/density"] != 3 || b.Kernels["mGP/wirelength"] != 1 || b.Kernels["cGP/density"] != 1 {
+		t.Errorf("kernels = %+v", b.Kernels)
+	}
+	if _, ok := b.Kernels["mGP/"]; ok {
+		t.Error("stage span leaked into kernel map")
+	}
+	rep.Add(b)
+	rep.Add(BenchRecord{Benchmark: "ADAPTEC0"})
+	rep.Sort()
+	if rep.Records[0].Benchmark != "ADAPTEC0" {
+		t.Errorf("sort order: %+v", rep.Records)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_eplace.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadBenchReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "eplace-synthetic" || len(got.Records) != 2 {
+		t.Errorf("decoded = %+v", got)
+	}
+	r1 := got.Records[1]
+	if r1.HPWL != 1.5e6 || r1.Iterations["mGP"] != 300 ||
+		len(r1.Stages) != 2 || r1.Stages[0].Name != "mIP" ||
+		r1.Kernels["mGP/density"] != 3 {
+		t.Errorf("record round trip = %+v", r1)
+	}
+}
+
+// KernelsFrom on a nil recorder must be a no-op (telemetry disabled).
+func TestKernelsFromNilRecorder(t *testing.T) {
+	var b BenchRecord
+	b.KernelsFrom(nil)
+	if b.Kernels != nil {
+		t.Errorf("kernels = %+v", b.Kernels)
+	}
+}
