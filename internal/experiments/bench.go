@@ -3,11 +3,15 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"time"
 
 	"eplace/internal/core"
+	"eplace/internal/fft"
 	"eplace/internal/metrics"
 	"eplace/internal/netlist"
+	"eplace/internal/parallel"
+	"eplace/internal/poisson"
 	"eplace/internal/synth"
 	"eplace/internal/telemetry"
 )
@@ -73,9 +77,68 @@ func BenchDesign(d *netlist.Design, opt RunOptions) telemetry.BenchRecord {
 	return b
 }
 
+// timeKernel runs fn in a tight loop for roughly budget wall time
+// (after one warm-up call) and returns the measurement.
+func timeKernel(name string, budget time.Duration, fn func()) telemetry.MicroBench {
+	fn() // warm up: first call may fault pages and fill caches
+	var ops int
+	var elapsed time.Duration
+	for elapsed < budget && ops < 1<<20 {
+		start := time.Now()
+		fn()
+		elapsed += time.Since(start)
+		ops++
+	}
+	return telemetry.MicroBench{
+		Name:    name,
+		Ops:     ops,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+	}
+}
+
+// KernelMicrobench measures the spectral kernels that dominate the
+// eDensity gradient — the packed DCT-II and the full Poisson solve —
+// so BENCH_eplace.json records kernel-level speedups alongside the
+// full-flow numbers. budget bounds the wall time per kernel; workers
+// follows the core.Options convention (0 = all cores).
+func KernelMicrobench(workers int, budget time.Duration) []telemetry.MicroBench {
+	var out []telemetry.MicroBench
+
+	r := fft.NewReal(512)
+	x := make([]float64, 512)
+	o1 := make([]float64, 512)
+	o2 := make([]float64, 512)
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	out = append(out,
+		timeKernel("fft/DCT2_512", budget, func() { r.DCT2(x, o1) }),
+		timeKernel("fft/DCT2Pair_512", budget, func() { r.DCT2Pair(x, x, o1, o2) }),
+		timeKernel("fft/IDCTAndIDST_512", budget, func() { r.IDCTAndIDST(x, o1, o2) }),
+	)
+
+	for _, m := range []int{128, 256} {
+		rho := make([]float64, m*m)
+		rng := rand.New(rand.NewSource(1))
+		for i := range rho {
+			rho[i] = rng.Float64()
+		}
+		serial := poisson.NewSolverWorkers(m, 1)
+		out = append(out, timeKernel(fmt.Sprintf("poisson/Solve_%d_w1", m), budget,
+			func() { serial.Solve(rho) }))
+		if parallel.Count(workers) > 1 {
+			wide := poisson.NewSolverWorkers(m, workers)
+			out = append(out, timeKernel(fmt.Sprintf("poisson/Solve_%d_w%d", m, parallel.Count(workers)),
+				budget, func() { wide.Solve(rho) }))
+		}
+	}
+	return out
+}
+
 // BenchSuite runs the ePlace flow over the scaled ISPD05 suite and
 // returns the BENCH_eplace.json payload. Each circuit gets a fresh
-// recorder so per-circuit kernel aggregates do not bleed together.
+// recorder so per-circuit kernel aggregates do not bleed together; a
+// kernel microbenchmark sweep rides along in the report header.
 func BenchSuite(opt BenchOptions) *telemetry.BenchReport {
 	if opt.Scale <= 0 {
 		opt.Scale = 0.2
@@ -86,7 +149,8 @@ func BenchSuite(opt BenchOptions) *telemetry.BenchReport {
 	}
 	report := telemetry.NewBenchReport("eplace-ispd05")
 	report.Scale = opt.Scale
-	report.Workers = opt.Workers
+	report.Workers = parallel.Count(opt.Workers)
+	report.Micro = KernelMicrobench(opt.Workers, 150*time.Millisecond)
 	for _, spec := range specs {
 		d := synth.Generate(spec)
 		b := BenchDesign(d, RunOptions{Workers: opt.Workers})

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// KernelMicrobench must measure every spectral kernel with at least one
+// op and a positive rate, serial and (when workers allow) parallel.
+func TestKernelMicrobench(t *testing.T) {
+	micro := KernelMicrobench(1, time.Millisecond)
+	if len(micro) == 0 {
+		t.Fatal("no microbenchmarks recorded")
+	}
+	names := map[string]bool{}
+	for _, mb := range micro {
+		if mb.Ops < 1 || mb.NsPerOp <= 0 {
+			t.Errorf("%s: ops=%d ns/op=%v", mb.Name, mb.Ops, mb.NsPerOp)
+		}
+		names[mb.Name] = true
+	}
+	for _, want := range []string{"fft/DCT2_512", "fft/DCT2Pair_512", "fft/IDCTAndIDST_512",
+		"poisson/Solve_128_w1", "poisson/Solve_256_w1"} {
+		if !names[want] {
+			t.Errorf("missing kernel %q in %v", want, micro)
+		}
+	}
+	// workers=1: no parallel variants should appear.
+	for name := range names {
+		if strings.Contains(name, "_w") && !strings.HasSuffix(name, "_w1") {
+			t.Errorf("unexpected parallel kernel %q at workers=1", name)
+		}
+	}
+}
+
+// The suite harness stamps the resolved worker count and attaches the
+// microbenchmark sweep to the report header.
+func TestBenchSuiteRecordsEnvironment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placements")
+	}
+	rep := BenchSuite(BenchOptions{Scale: 0.05, Circuits: 1, Workers: 2})
+	if rep.Workers != 2 {
+		t.Errorf("workers = %d, want 2", rep.Workers)
+	}
+	if rep.GOMAXPROCS <= 0 {
+		t.Errorf("gomaxprocs = %d", rep.GOMAXPROCS)
+	}
+	if len(rep.Micro) == 0 {
+		t.Error("no microbenchmarks attached to report")
+	}
+	if len(rep.Records) != 1 {
+		t.Errorf("records = %d, want 1", len(rep.Records))
+	}
+}

@@ -124,14 +124,24 @@ func TestParsevalEnergy(t *testing.T) {
 	}
 }
 
+// allSizes is every power of two the acceptance bar names: the packed
+// transforms must match the O(n^2) references at 1e-9 relative error
+// on all of them (plus the degenerate n=1).
+var allSizes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
 func TestDCT2MatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	for _, n := range []int{1, 2, 8, 64, 256} {
+	for _, n := range allSizes {
 		r := NewReal(n)
-		x := make([]float64, n)
-		for i := range x {
-			x[i] = rng.NormFloat64()
-		}
+		x := randVec(rng, n)
 		got := make([]float64, n)
 		r.DCT2(x, got)
 		want := NaiveDCT2(x)
@@ -143,12 +153,9 @@ func TestDCT2MatchesNaive(t *testing.T) {
 
 func TestIDCTMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	for _, n := range []int{2, 16, 128} {
+	for _, n := range allSizes {
 		r := NewReal(n)
-		a := make([]float64, n)
-		for i := range a {
-			a[i] = rng.NormFloat64()
-		}
+		a := randVec(rng, n)
 		got := make([]float64, n)
 		r.IDCT(a, got)
 		want := NaiveIDCT(a)
@@ -160,17 +167,88 @@ func TestIDCTMatchesNaive(t *testing.T) {
 
 func TestIDSTMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	for _, n := range []int{2, 16, 128} {
+	for _, n := range allSizes {
 		r := NewReal(n)
-		a := make([]float64, n)
-		for i := range a {
-			a[i] = rng.NormFloat64()
-		}
+		a := randVec(rng, n)
 		got := make([]float64, n)
 		r.IDST(a, got)
 		want := NaiveIDST(a)
 		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
 			t.Fatalf("n=%d IDST max diff %v", n, d)
+		}
+	}
+}
+
+// The pair transforms must agree with the naive references on both
+// channels at every size: the packing separation is exact up to
+// rounding.
+func TestPairTransformsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range allSizes {
+		r := NewReal(n)
+		a := randVec(rng, n)
+		b := randVec(rng, n)
+		gotA := make([]float64, n)
+		gotB := make([]float64, n)
+
+		r.DCT2Pair(a, b, gotA, gotB)
+		if d := maxAbsDiff(gotA, NaiveDCT2(a)); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d DCT2Pair A max diff %v", n, d)
+		}
+		if d := maxAbsDiff(gotB, NaiveDCT2(b)); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d DCT2Pair B max diff %v", n, d)
+		}
+
+		r.IDCTPair(a, b, gotA, gotB)
+		if d := maxAbsDiff(gotA, NaiveIDCT(a)); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d IDCTPair A max diff %v", n, d)
+		}
+		if d := maxAbsDiff(gotB, NaiveIDCT(b)); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d IDCTPair B max diff %v", n, d)
+		}
+
+		r.IDSTPair(a, b, gotA, gotB)
+		if d := maxAbsDiff(gotA, NaiveIDST(a)); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d IDSTPair A max diff %v", n, d)
+		}
+		if d := maxAbsDiff(gotB, NaiveIDST(b)); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d IDSTPair B max diff %v", n, d)
+		}
+	}
+}
+
+// The Poisson pipeline transforms coefficient planes in place, so every
+// transform must tolerate out aliasing the input.
+func TestTransformsInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{2, 8, 64, 512} {
+		r := NewReal(n)
+		a := randVec(rng, n)
+		b := randVec(rng, n)
+
+		ref := make([]float64, n)
+		r.DCT2(a, ref)
+		got := append([]float64(nil), a...)
+		r.DCT2(got, got)
+		if maxAbsDiff(got, ref) != 0 {
+			t.Fatalf("n=%d DCT2 in place differs", n)
+		}
+
+		refB := make([]float64, n)
+		r.IDCTPair(a, b, ref, refB)
+		gotA := append([]float64(nil), a...)
+		gotB := append([]float64(nil), b...)
+		r.IDCTPair(gotA, gotB, gotA, gotB)
+		if maxAbsDiff(gotA, ref) != 0 || maxAbsDiff(gotB, refB) != 0 {
+			t.Fatalf("n=%d IDCTPair in place differs", n)
+		}
+
+		r.IDSTPair(a, b, ref, refB)
+		copy(gotA, a)
+		copy(gotB, b)
+		r.IDSTPair(gotA, gotB, gotA, gotB)
+		if maxAbsDiff(gotA, ref) != 0 || maxAbsDiff(gotB, refB) != 0 {
+			t.Fatalf("n=%d IDSTPair in place differs", n)
 		}
 	}
 }
@@ -190,7 +268,10 @@ func TestIDCTAndIDSTConsistent(t *testing.T) {
 	s2 := make([]float64, n)
 	r.IDCT(a, c2)
 	r.IDST(a, s2)
-	if maxAbsDiff(c1, c2) > 1e-12 || maxAbsDiff(s1, s2) > 1e-12 {
+	// The fused transform runs through a full-length FFT, the single
+	// ones through the half-packed route, so agreement is to rounding
+	// rather than bitwise.
+	if maxAbsDiff(c1, c2) > 1e-9 || maxAbsDiff(s1, s2) > 1e-9 {
 		t.Error("combined transform disagrees with separate calls")
 	}
 }
@@ -199,7 +280,7 @@ func TestIDCTAndIDSTConsistent(t *testing.T) {
 // recovers the input: x_i = (2/n) * sum_u s_u X_u cos(...), s_0 = 1/2.
 func TestDCTRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	for _, n := range []int{2, 8, 64, 512} {
+	for _, n := range []int{2, 8, 64, 512, 1024} {
 		r := NewReal(n)
 		x := make([]float64, n)
 		for i := range x {
@@ -291,15 +372,65 @@ func BenchmarkFFT1024(b *testing.B) {
 	}
 }
 
-func BenchmarkDCT2_512(b *testing.B) {
-	r := NewReal(512)
-	x := make([]float64, 512)
-	out := make([]float64, 512)
+func benchInput(n int) (*Real, []float64, []float64) {
+	r := NewReal(n)
+	x := make([]float64, n)
+	out := make([]float64, n)
 	for i := range x {
 		x[i] = float64(i % 13)
 	}
+	return r, x, out
+}
+
+func BenchmarkDCT2_128(b *testing.B) {
+	r, x, out := benchInput(128)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.DCT2(x, out)
+	}
+}
+
+func BenchmarkDCT2_256(b *testing.B) {
+	r, x, out := benchInput(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.DCT2(x, out)
+	}
+}
+
+func BenchmarkDCT2_512(b *testing.B) {
+	r, x, out := benchInput(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.DCT2(x, out)
+	}
+}
+
+// BenchmarkDCT2Pair_512 amortizes one full-length FFT over two rows —
+// the per-row cost should undercut two single DCT2 calls.
+func BenchmarkDCT2Pair_512(b *testing.B) {
+	r, x, out := benchInput(512)
+	x2 := append([]float64(nil), x...)
+	out2 := make([]float64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.DCT2Pair(x, x2, out, out2)
+	}
+}
+
+func BenchmarkIDCT_512(b *testing.B) {
+	r, x, out := benchInput(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.IDCT(x, out)
+	}
+}
+
+func BenchmarkIDCTAndIDST_512(b *testing.B) {
+	r, x, out := benchInput(512)
+	out2 := make([]float64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.IDCTAndIDST(x, out, out2)
 	}
 }

@@ -9,12 +9,21 @@
 // w_u = pi*u/M (which satisfies the Neumann condition term by term), the
 // potential coefficients are a_{uv}/(w_u^2 + w_v^2) with the (0,0) mode
 // removed, and the field components come from differentiating the basis,
-// turning one cosine factor into a sine. Everything runs in
-// O(M^2 log M) via the transforms in internal/fft, with both the row
-// and the column passes of every 2D transform fanned out over the
-// shared internal/parallel worker pool (one thread-confined fft.Real
-// workspace per worker). Each row/column writes a disjoint slice of the
-// output plane, so results are bitwise-identical for every worker count.
+// turning one cosine factor into a sine.
+//
+// Everything runs in O(M^2 log M) via the packed real transforms in
+// internal/fft, organized as a cache-blocked 2D pipeline: every 1-D
+// pass runs on contiguous rows (column passes go through an explicit
+// blocked transpose instead of stride-M gather/scatter), two real rows
+// share each complex FFT (fft.Real's *Pair methods), and the three
+// inverse planes fuse where their transform kinds coincide — the
+// Psi/Ex y-pass and the Psi/Ey x-pass each pair two planes into one
+// FFT. All passes fan out over the shared internal/parallel worker
+// pool (one thread-confined fft.Real workspace per worker). Tasks are
+// fixed row pairs and transpose blocks whose boundaries do not depend
+// on the worker count, and each task writes a disjoint slice of its
+// output plane, so results are bitwise-identical for every worker
+// count.
 //
 // Grid coordinates: sample (i, j) is the bin center (i+1/2, j+1/2) in
 // units of bins. Ex is minus d(psi)/dx, the electric field that pushes
@@ -29,21 +38,41 @@ import (
 	"eplace/internal/parallel"
 )
 
+// energyShards is the fixed number of partial sums in the Energy
+// reduction. It is independent of the worker count so the summation
+// order — shard-local left-to-right folds combined in shard order — is
+// identical for every Workers setting.
+const energyShards = 64
+
+// tblk is the transpose tile edge: a 32x32 float64 tile is 8 KiB, so
+// one source and one destination tile stay L1-resident.
+const tblk = 32
+
 // Solver holds workspace for repeated solves on one grid size. A Solver
-// is not safe for concurrent Solve calls; it parallelizes internally.
+// is not safe for concurrent method calls (Solve parallelizes
+// internally and Energy reuses the shared partial-sum buffer); use one
+// Solver per goroutine.
 type Solver struct {
 	m int
-	// One transform workspace and column scratch pair per worker.
-	trs        []*fft.Real
-	cols, colO [][]float64
+	// One packed-transform workspace per worker. Each worker's fft.Real
+	// owns its reorder/twiddle tables and complex scratch; the solver
+	// itself owns the whole-plane scratch below, written in disjoint
+	// row/tile slices by the workers.
+	trs []*fft.Real
 	// wu[u] = pi*u/m.
 	wu []float64
-	// Coefficient and scratch planes, all m*m row-major [v*m + u].
-	auv  []float64 // DCT coefficients of rho
+	// Coefficient planes in TRANSPOSED layout [u*m + v] (frequency u
+	// outer, v inner) so the y-direction passes run on contiguous rows.
+	// After the inverse y-pass they hold the half-reconstructed planes
+	// G[u*m + j] in place.
 	buv  []float64 // potential coefficients auv/(wu^2+wv^2)
 	cxuv []float64 // field-x coefficients buv*wu
 	cyuv []float64 // field-y coefficients buv*wv
-	tmp  []float64
+	// Whole-plane scratch: ta/tb carry the forward passes, and all
+	// three hold the re-transposed G planes for the inverse x-pass.
+	ta, tb, tc []float64
+	// epart holds the fixed-order Energy partial sums.
+	epart [energyShards]float64
 	// Outputs, valid after Solve.
 	Psi []float64 // potential at bin centers
 	Ex  []float64 // -d psi / dx
@@ -65,25 +94,28 @@ func NewSolverWorkers(m, workers int) *Solver {
 	if m < 64 {
 		workers = 1
 	}
-	if workers > m {
-		workers = m
+	// The finest-grained parallel regions shard over m/2 row pairs.
+	if workers > m/2 {
+		workers = m / 2
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	s := &Solver{
 		m:    m,
 		wu:   make([]float64, m),
-		auv:  make([]float64, m*m),
 		buv:  make([]float64, m*m),
 		cxuv: make([]float64, m*m),
 		cyuv: make([]float64, m*m),
-		tmp:  make([]float64, m*m),
+		ta:   make([]float64, m*m),
+		tb:   make([]float64, m*m),
+		tc:   make([]float64, m*m),
 		Psi:  make([]float64, m*m),
 		Ex:   make([]float64, m*m),
 		Ey:   make([]float64, m*m),
 	}
 	for w := 0; w < workers; w++ {
 		s.trs = append(s.trs, fft.NewReal(m))
-		s.cols = append(s.cols, make([]float64, m))
-		s.colO = append(s.colO, make([]float64, m))
 	}
 	for u := 0; u < m; u++ {
 		s.wu[u] = math.Pi * float64(u) / float64(m)
@@ -104,6 +136,38 @@ func (s *Solver) pfor(n int, fn func(worker, i int)) {
 	})
 }
 
+// pforPairs runs fn(worker, row) for every even row in [0, m), each
+// call owning rows row and row+1. Pair boundaries are fixed, so the
+// work decomposition is identical at every worker count.
+func (s *Solver) pforPairs(fn func(worker, row int)) {
+	parallel.For(len(s.trs), s.m/2, func(w, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			fn(w, 2*k)
+		}
+	})
+}
+
+// transpose writes dst[i*m+j] = src[j*m+i] tile by tile (tblk square
+// tiles), sharding tile rows of dst across the pool. Each task owns a
+// disjoint band of dst rows.
+func (s *Solver) transpose(src, dst []float64) {
+	m := s.m
+	nb := (m + tblk - 1) / tblk
+	s.pfor(nb, func(_, bi int) {
+		i0 := bi * tblk
+		i1 := min(i0+tblk, m)
+		for j0 := 0; j0 < m; j0 += tblk {
+			j1 := min(j0+tblk, m)
+			for i := i0; i < i1; i++ {
+				row := dst[i*m : (i+1)*m]
+				for j := j0; j < j1; j++ {
+					row[j] = src[j*m+i]
+				}
+			}
+		}
+	})
+}
+
 // Solve computes Psi, Ex and Ey from the charge plane rho (length m*m,
 // row-major [j*m + i]). The zero-frequency (mean) component of rho is
 // discarded, so callers need not pre-center the charge.
@@ -112,87 +176,86 @@ func (s *Solver) Solve(rho []float64) {
 	if len(rho) != m*m {
 		panic("poisson: charge plane size mismatch")
 	}
+	if m == 1 {
+		// Only the removed (0,0) mode exists.
+		s.Psi[0], s.Ex[0], s.Ey[0] = 0, 0, 0
+		return
+	}
 
-	// Forward 2D DCT-II: rows (x direction) then columns (y direction).
-	s.pfor(m, func(w, j int) {
-		s.trs[w].DCT2(rho[j*m:(j+1)*m], s.tmp[j*m:(j+1)*m])
+	// Forward 2D DCT-II. Rows (x direction) first, two rows per FFT.
+	s.pforPairs(func(w, j int) {
+		s.trs[w].DCT2Pair(rho[j*m:(j+1)*m], rho[(j+1)*m:(j+2)*m],
+			s.ta[j*m:(j+1)*m], s.ta[(j+1)*m:(j+2)*m])
 	})
-	s.pfor(m, func(w, u int) {
-		col, colO := s.cols[w], s.colO[w]
-		for j := 0; j < m; j++ {
-			col[j] = s.tmp[j*m+u]
-		}
-		s.trs[w].DCT2(col, colO)
-		for v := 0; v < m; v++ {
-			s.auv[v*m+u] = colO[v]
-		}
+	// Columns (y direction): transpose so the pass runs on contiguous
+	// rows, transforming in place. tb ends as X_{uv} transposed [u,v].
+	s.transpose(s.ta, s.tb)
+	s.pforPairs(func(w, u int) {
+		r0, r1 := s.tb[u*m:(u+1)*m], s.tb[(u+1)*m:(u+2)*m]
+		s.trs[w].DCT2Pair(r0, r1, r0, r1)
 	})
+
 	// Normalize so that rho[j][i] = sum a_{uv} cos(wu(i+1/2)) cos(wv(j+1/2)):
 	// a_{uv} = (2 s_u / m)(2 s_v / m) * X_{uv}, s_0 = 1/2 else 1, and
-	// fold in the potential and field coefficients in the same pass.
+	// fold in the potential and field coefficients in the same pass
+	// (all planes stay in the transposed [u,v] layout).
 	norm := 4 / float64(m*m)
-	s.pfor(m, func(_, v int) {
-		sv := 1.0
-		if v == 0 {
-			sv = 0.5
+	s.pfor(m, func(_, u int) {
+		su := 1.0
+		if u == 0 {
+			su = 0.5
 		}
-		wv := s.wu[v]
-		for u := 0; u < m; u++ {
-			su := 1.0
-			if u == 0 {
-				su = 0.5
+		wu := s.wu[u]
+		base := u * m
+		for v := 0; v < m; v++ {
+			sv := 1.0
+			if v == 0 {
+				sv = 0.5
 			}
-			a := s.auv[v*m+u] * norm * su * sv
-			s.auv[v*m+u] = a
-			wu := s.wu[u]
+			a := s.tb[base+v] * norm * su * sv
+			wv := s.wu[v]
 			k2 := wu*wu + wv*wv
 			var b float64
 			if k2 > 0 {
 				b = a / k2
 			}
-			s.buv[v*m+u] = b
-			s.cxuv[v*m+u] = b * wu
-			s.cyuv[v*m+u] = b * wv
+			s.buv[base+v] = b
+			s.cxuv[base+v] = b * wu
+			s.cyuv[base+v] = b * wv
 		}
 	})
 
-	// Psi = IDCT_x IDCT_y (buv).
-	s.inverse2D(s.buv, s.Psi, false, false)
-	// Ex = IDST_x IDCT_y (buv * wu): psi's x-cosine differentiates to
-	// -wu sin; Ex = -d psi/dx = +sum b wu sin cos.
-	s.inverse2D(s.cxuv, s.Ex, true, false)
-	// Ey symmetric.
-	s.inverse2D(s.cyuv, s.Ey, false, true)
-}
-
-// inverse2D reconstructs out[j][i] = sum_{u,v} c[v][u] * fx(u,i) * fy(v,j)
-// where fx is sin when sinX else cos, and fy likewise.
-func (s *Solver) inverse2D(c, out []float64, sinX, sinY bool) {
-	m := s.m
-	// Along u (x) for each coefficient row v.
-	s.pfor(m, func(w, v int) {
-		row := c[v*m : (v+1)*m]
-		dst := s.tmp[v*m : (v+1)*m]
-		if sinX {
-			s.trs[w].IDST(row, dst)
-		} else {
-			s.trs[w].IDCT(row, dst)
-		}
+	// Inverse y-pass, in place on the coefficient planes:
+	//   Psi = IDCT_y(buv), Ex = IDCT_y(cxuv), Ey = IDST_y(cyuv).
+	// Psi and Ex need the same transform kind, so each u row pairs them
+	// into one FFT; the two Ey rows of the pair share another.
+	s.pforPairs(func(w, u int) {
+		tr := s.trs[w]
+		b0, b1 := s.buv[u*m:(u+1)*m], s.buv[(u+1)*m:(u+2)*m]
+		cx0, cx1 := s.cxuv[u*m:(u+1)*m], s.cxuv[(u+1)*m:(u+2)*m]
+		cy0, cy1 := s.cyuv[u*m:(u+1)*m], s.cyuv[(u+1)*m:(u+2)*m]
+		tr.IDCTPair(b0, cx0, b0, cx0)
+		tr.IDCTPair(b1, cx1, b1, cx1)
+		tr.IDSTPair(cy0, cy1, cy0, cy1)
 	})
-	// Along v (y) for each spatial column i.
-	s.pfor(m, func(w, i int) {
-		col, colO := s.cols[w], s.colO[w]
-		for v := 0; v < m; v++ {
-			col[v] = s.tmp[v*m+i]
-		}
-		if sinY {
-			s.trs[w].IDST(col, colO)
-		} else {
-			s.trs[w].IDCT(col, colO)
-		}
-		for j := 0; j < m; j++ {
-			out[j*m+i] = colO[j]
-		}
+
+	// Back to row-major [j, u] for the x-pass.
+	s.transpose(s.buv, s.ta)
+	s.transpose(s.cyuv, s.tb)
+	s.transpose(s.cxuv, s.tc)
+
+	// Inverse x-pass straight into the outputs:
+	//   Psi = IDCT_x, Ey = IDCT_x (paired), Ex = IDST_x (row pairs).
+	// Ex = -d psi/dx = +sum b wu sin cos: psi's x-cosine differentiates
+	// to -wu sin; Ey symmetric in y.
+	s.pforPairs(func(w, j int) {
+		tr := s.trs[w]
+		tr.IDCTPair(s.ta[j*m:(j+1)*m], s.tb[j*m:(j+1)*m],
+			s.Psi[j*m:(j+1)*m], s.Ey[j*m:(j+1)*m])
+		tr.IDCTPair(s.ta[(j+1)*m:(j+2)*m], s.tb[(j+1)*m:(j+2)*m],
+			s.Psi[(j+1)*m:(j+2)*m], s.Ey[(j+1)*m:(j+2)*m])
+		tr.IDSTPair(s.tc[j*m:(j+1)*m], s.tc[(j+1)*m:(j+2)*m],
+			s.Ex[j*m:(j+1)*m], s.Ex[(j+1)*m:(j+2)*m])
 	})
 }
 
@@ -200,13 +263,33 @@ func (s *Solver) inverse2D(c, out []float64, sinX, sinY bool) {
 // for the charge plane used in the latest Solve. Callers pass the same
 // rho they solved with; the (0,0) mode of psi is zero so any constant
 // offset of rho does not contribute.
+//
+// The sum is sharded over the worker pool into energyShards fixed-width
+// partials folded in shard order, so the result is bitwise-identical at
+// every worker count (though it may differ in the last ulp from a
+// single left-to-right fold).
 func (s *Solver) Energy(rho []float64) float64 {
 	if len(rho) != len(s.Psi) {
 		panic("poisson: charge plane size mismatch")
 	}
+	n := len(rho)
+	shards := energyShards
+	if shards > n {
+		shards = n
+	}
+	parallel.For(len(s.trs), shards, func(_, lo, hi int) {
+		for sh := lo; sh < hi; sh++ {
+			a, b := sh*n/shards, (sh+1)*n/shards
+			e := 0.0
+			for k := a; k < b; k++ {
+				e += rho[k] * s.Psi[k]
+			}
+			s.epart[sh] = e
+		}
+	})
 	e := 0.0
-	for b, r := range rho {
-		e += r * s.Psi[b]
+	for _, p := range s.epart[:shards] {
+		e += p
 	}
 	return e
 }

@@ -281,9 +281,89 @@ func TestPoissonResidualSmoothCharge(t *testing.T) {
 	}
 }
 
-func BenchmarkSolve128(b *testing.B) {
-	m := 128
-	s := NewSolver(m)
+// The blocked transpose must be an exact involution for every grid
+// size the solver accepts, including ones that are not multiples of
+// the tile edge.
+func TestTransposeRoundTrip(t *testing.T) {
+	for _, m := range []int{2, 8, 16, 32, 64, 128} {
+		s := NewSolverWorkers(m, 2)
+		src := make([]float64, m*m)
+		rng := rand.New(rand.NewSource(int64(m)))
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		dst := make([]float64, m*m)
+		back := make([]float64, m*m)
+		s.transpose(src, dst)
+		for j := 0; j < m; j++ {
+			for i := 0; i < m; i++ {
+				if dst[i*m+j] != src[j*m+i] {
+					t.Fatalf("m=%d transpose wrong at (%d,%d)", m, i, j)
+				}
+			}
+		}
+		s.transpose(dst, back)
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("m=%d transpose not an involution at %d", m, i)
+			}
+		}
+	}
+}
+
+// The sharded Energy reduction must be bitwise-identical at every
+// worker count: shard boundaries are fixed, not worker-derived.
+func TestEnergyWorkersBitwise(t *testing.T) {
+	const m = 64
+	rho := make([]float64, m*m)
+	rng := rand.New(rand.NewSource(17))
+	for i := range rho {
+		rho[i] = rng.NormFloat64()
+	}
+	ref := NewSolverWorkers(m, 1)
+	ref.Solve(rho)
+	want := ref.Energy(rho)
+	for _, workers := range []int{2, 3, 7, 8} {
+		s := NewSolverWorkers(m, workers)
+		s.Solve(rho)
+		if got := s.Energy(rho); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("workers=%d: energy %v != %v", workers, got, want)
+		}
+	}
+}
+
+// Tiny grids exercise the pair-packed pipeline's smallest transforms
+// (n=2 FFTs, single-pair rows); the manufactured modes must still be
+// exact.
+func TestManufacturedSolutionSmallGrids(t *testing.T) {
+	for _, m := range []int{2, 4, 8} {
+		s := NewSolver(m)
+		for _, uv := range [][2]int{{1, 0}, {0, 1}, {1, 1}} {
+			rho, want := manufactured(m, uv[0], uv[1])
+			s.Solve(rho)
+			for b := range want {
+				if d := math.Abs(s.Psi[b] - want[b]); d > 1e-9 {
+					t.Fatalf("m=%d mode %v bin %d: psi=%v want=%v", m, uv, b, s.Psi[b], want[b])
+				}
+			}
+		}
+	}
+}
+
+// A 1x1 grid has only the removed DC mode: everything is zero.
+func TestSolveDegenerateGrid(t *testing.T) {
+	s := NewSolver(1)
+	s.Solve([]float64{42})
+	if s.Psi[0] != 0 || s.Ex[0] != 0 || s.Ey[0] != 0 {
+		t.Fatalf("1x1 solve: psi=%v ex=%v ey=%v, want zeros", s.Psi[0], s.Ex[0], s.Ey[0])
+	}
+	if e := s.Energy([]float64{42}); e != 0 {
+		t.Fatalf("1x1 energy = %v, want 0", e)
+	}
+}
+
+func benchSolve(b *testing.B, m, workers int) {
+	s := NewSolverWorkers(m, workers)
 	rho := make([]float64, m*m)
 	rng := rand.New(rand.NewSource(1))
 	for i := range rho {
@@ -295,16 +375,26 @@ func BenchmarkSolve128(b *testing.B) {
 	}
 }
 
-func BenchmarkSolve512(b *testing.B) {
-	m := 512
-	s := NewSolver(m)
+// Single-threaded solver benchmarks: the numbers the telemetry bench
+// harness records (see EXPERIMENTS.md "Kernel microbenchmarks").
+func BenchmarkSolve_128(b *testing.B) { benchSolve(b, 128, 1) }
+func BenchmarkSolve_256(b *testing.B) { benchSolve(b, 256, 1) }
+func BenchmarkSolve_512(b *testing.B) { benchSolve(b, 512, 1) }
+
+// All-cores variant, for the parallel-scaling view.
+func BenchmarkSolve_256AllCores(b *testing.B) { benchSolve(b, 256, 0) }
+
+func BenchmarkEnergy_256(b *testing.B) {
+	m := 256
+	s := NewSolverWorkers(m, 1)
 	rho := make([]float64, m*m)
 	rng := rand.New(rand.NewSource(1))
 	for i := range rho {
 		rho[i] = rng.Float64()
 	}
+	s.Solve(rho)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Solve(rho)
+		s.Energy(rho)
 	}
 }

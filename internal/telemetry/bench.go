@@ -56,27 +56,45 @@ func (b *BenchRecord) KernelsFrom(r *Recorder) {
 	}
 }
 
+// MicroBench is one kernel microbenchmark measurement: a tight loop
+// over a single hot kernel (a spectral transform, a Poisson solve),
+// recorded alongside the full-flow records so kernel-level speedups
+// show up in the committed report, not just in ad-hoc `go test -bench`
+// runs.
+type MicroBench struct {
+	Name    string  `json:"name"`
+	Ops     int     `json:"ops"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
 // BenchReport is the full BENCH_eplace.json payload: environment
-// fingerprint plus one record per benchmark.
+// fingerprint plus one record per benchmark. Workers is the resolved
+// gradient-kernel worker count and GOMAXPROCS the scheduler limit the
+// run executed under — both are needed to compare reports across
+// machines (CPUs alone says nothing about how wide the run actually
+// was).
 type BenchReport struct {
-	Name      string        `json:"name"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	CPUs      int           `json:"cpus"`
-	Workers   int           `json:"workers,omitempty"`
-	Scale     float64       `json:"scale,omitempty"`
-	Records   []BenchRecord `json:"records"`
+	Name       string        `json:"name"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	CPUs       int           `json:"cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers,omitempty"`
+	Scale      float64       `json:"scale,omitempty"`
+	Micro      []MicroBench  `json:"microbench,omitempty"`
+	Records    []BenchRecord `json:"records"`
 }
 
 // NewBenchReport creates a report stamped with the runtime environment.
 func NewBenchReport(name string) *BenchReport {
 	return &BenchReport{
-		Name:      name,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		Name:       name,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 }
 

@@ -9,10 +9,12 @@ import (
 
 func TestBenchReportRoundTrip(t *testing.T) {
 	rep := NewBenchReport("eplace-synthetic")
-	if rep.GoVersion == "" || rep.CPUs <= 0 {
+	if rep.GoVersion == "" || rep.CPUs <= 0 || rep.GOMAXPROCS <= 0 {
 		t.Fatalf("environment fingerprint missing: %+v", rep)
 	}
 	rep.Scale = 0.25
+	rep.Workers = 4
+	rep.Micro = []MicroBench{{Name: "fft/DCT2_512", Ops: 1000, NsPerOp: 7200.5}}
 
 	rec := New()
 	rec.AddSpanTime("mGP", "density", 3*time.Second)
@@ -57,6 +59,13 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	}
 	if got.Name != "eplace-synthetic" || len(got.Records) != 2 {
 		t.Errorf("decoded = %+v", got)
+	}
+	if got.GOMAXPROCS != rep.GOMAXPROCS || got.Workers != 4 {
+		t.Errorf("environment round trip = %+v", got)
+	}
+	if len(got.Micro) != 1 || got.Micro[0].Name != "fft/DCT2_512" ||
+		got.Micro[0].Ops != 1000 || got.Micro[0].NsPerOp != 7200.5 {
+		t.Errorf("microbench round trip = %+v", got.Micro)
 	}
 	r1 := got.Records[1]
 	if r1.HPWL != 1.5e6 || r1.Iterations["mGP"] != 300 ||
