@@ -16,7 +16,13 @@ import (
 // engine evaluates f = W~ + lambda*N and its preconditioned gradient
 // for one set of movable cells.
 type engine struct {
-	d   *netlist.Design
+	d *netlist.Design
+	// cv is the compiled CSR/SoA view shared by the wirelength model,
+	// the density model and the loop's HPWL evaluation. The engine
+	// writes candidate positions into it once per evaluation
+	// (cv.SetPositions); the Cell structs are only written back when the
+	// stage finishes.
+	cv  *netlist.Compiled
 	idx []int
 	wl  *wirelength.Model
 	dm  *density.Model
@@ -34,6 +40,7 @@ type engine struct {
 	halfW, halfH []float64
 
 	gw, gd []float64 // wirelength and density gradient scratch
+	posBuf []float64 // end-of-stage clamp buffer (avoids Positions alloc)
 
 	stage string
 
@@ -50,11 +57,16 @@ func newEngine(d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorde
 	if m == 0 {
 		m = grid.ChooseM(len(d.Cells))
 	}
+	// Compile the flat view once per stage, after fillers/inflation have
+	// fixed the topology and extents for the whole stage; every hot
+	// kernel below shares it.
+	cv := d.Compile()
 	e := &engine{
 		d:      d,
+		cv:     cv,
 		idx:    idx,
-		wl:     wirelength.New(d, idx, 1),
-		dm:     density.NewModelWorkers(d, m, opt.Workers),
+		wl:     wirelength.NewCompiled(cv, idx, 1),
+		dm:     density.NewModelCompiled(cv, m, opt.Workers),
 		opt:    opt,
 		rec:    rec,
 		degree: make([]float64, len(idx)),
@@ -63,6 +75,7 @@ func newEngine(d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorde
 		halfH:  make([]float64, len(idx)),
 		gw:     make([]float64, 2*len(idx)),
 		gd:     make([]float64, 2*len(idx)),
+		posBuf: make([]float64, 2*len(idx)),
 	}
 	e.wl.Workers = opt.Workers
 	binArea := e.dm.Grid.BinArea()
@@ -92,7 +105,7 @@ func (e *engine) clamp(v []float64) {
 
 // gradient evaluates the preconditioned gradient of f at v.
 func (e *engine) gradient(v, g []float64) {
-	e.d.SetPositions(e.idx, v)
+	e.cv.SetPositions(e.idx, v)
 	t0 := time.Now()
 	e.wl.CostAndGradient(e.gw)
 	e.rec.AddSpanTime(e.stage, "wirelength", time.Since(t0))
@@ -120,7 +133,7 @@ func (e *engine) gradient(v, g []float64) {
 
 // cost evaluates f at v (CG baseline only; Nesterov never needs it).
 func (e *engine) cost(v []float64) float64 {
-	e.d.SetPositions(e.idx, v)
+	e.cv.SetPositions(e.idx, v)
 	t0 := time.Now()
 	w := e.wl.Cost()
 	e.rec.AddSpanTime(e.stage, "wirelength", time.Since(t0))
@@ -134,7 +147,7 @@ func (e *engine) cost(v []float64) float64 {
 // initLambda balances the initial wirelength and density gradient norms
 // (sum of absolute values), the standard ePlace initialization.
 func (e *engine) initLambda(v []float64) {
-	e.d.SetPositions(e.idx, v)
+	e.cv.SetPositions(e.idx, v)
 	e.wl.CostAndGradient(e.gw)
 	e.dm.Refresh(e.idx)
 	e.dm.Gradient(e.idx, e.gd)
@@ -191,7 +204,7 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 	v0 := d.Positions(idx)
 	e.clamp(v0)
 	tau0 := func() float64 {
-		e.d.SetPositions(e.idx, v0)
+		e.cv.SetPositions(e.idx, v0)
 		e.dm.Refresh(e.idx)
 		return e.dm.Overflow(d.TargetDensity)
 	}()
@@ -204,7 +217,9 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 		e.initLambda(v0)
 	}
 
-	hpwl0 := d.HPWL()
+	// HPWL of the clamped start, from the view (the structs still hold
+	// the unclamped input until the end-of-stage write-back).
+	hpwl0 := e.cv.HPWL()
 	prevHPWL := hpwl0
 
 	seedStep := 0.1 * math.Min(e.dm.Grid.BinW, e.dm.Grid.BinH)
@@ -237,8 +252,8 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 		alpha, bt := stepNesterov()
 
 		u := solution()
-		e.d.SetPositions(e.idx, u)
-		hpwl := d.HPWL()
+		e.cv.SetPositions(e.idx, u)
+		hpwl := e.cv.HPWL()
 		tau := e.dm.Overflow(d.TargetDensity) // from the latest Refresh
 
 		if tau <= bestTau {
@@ -304,13 +319,18 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 		e.updateGamma(tau)
 	}
 
-	// Adopt the best snapshot if we diverged or stagnated past it.
+	// Adopt the best snapshot if we diverged or stagnated past it,
+	// clamp it, and write it back to both the structs (the caller's
+	// source of truth between stages) and the view (for the final
+	// Refresh/HPWL below).
 	final := solution()
 	if res.Diverged || res.Stagnated {
 		final = best
 	}
-	e.d.SetPositions(e.idx, final)
-	e.clampCells()
+	copy(e.posBuf, final)
+	e.clamp(e.posBuf)
+	e.d.SetPositions(e.idx, e.posBuf)
+	e.cv.SetPositions(e.idx, e.posBuf)
 
 	e.dm.Refresh(e.idx)
 	res.Iterations = iter
@@ -340,11 +360,4 @@ func sumAbs(x []float64) float64 {
 		s += math.Abs(v)
 	}
 	return s
-}
-
-// clampCells writes region-clamped positions back to the design.
-func (e *engine) clampCells() {
-	v := e.d.Positions(e.idx)
-	e.clamp(v)
-	e.d.SetPositions(e.idx, v)
 }

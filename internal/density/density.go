@@ -5,6 +5,11 @@
 // is the electric force 2*q_i*xi_i obtained from the spectral Poisson
 // solution of Eq. (6). Fixed objects carry charge like everything else
 // ("generalized without special handling of fixed blocks").
+//
+// The rasterization and force kernels read cell geometry from the SoA
+// arrays of a netlist.Compiled view instead of walking Cell structs;
+// the engine shares one view across all models and writes positions
+// into it once per iteration.
 package density
 
 import (
@@ -24,16 +29,30 @@ import (
 // internal: the worker count fixed at construction fans out the movable
 // rasterization, the spectral solve and the per-cell force integration,
 // with results bitwise-identical for every worker count.
+//
+// Allocation contract: steady-state Refresh and Gradient calls allocate
+// nothing at workers <= 1 (and only goroutine-spawn bookkeeping beyond
+// that).
 type Model struct {
 	Grid   *grid.Grid
 	Solver *poisson.Solver
 	d      *netlist.Design
-	rho    []float64
-	objs   []grid.Object // rasterization batch scratch
+	cv     *netlist.Compiled
+	// ownView marks a privately compiled view that must re-sync from the
+	// Cell structs before each Refresh (callers may move cells directly).
+	ownView bool
+	rho     []float64
 	// binAreaInv normalizes charge to dimensionless bin density.
 	binAreaInv float64
 	energy     float64
 	workers    int
+
+	// Per-call inputs for the persistent Gradient closure (closures
+	// passed to parallel.For escape; capturing locals would allocate
+	// one closure per call).
+	gradIdx  []int
+	gradBuf  []float64
+	gradTask func(wk, lo, hi int)
 }
 
 // NewModel builds a density model over design d with an m x m grid
@@ -45,19 +64,47 @@ func NewModel(d *netlist.Design, m int) *Model {
 
 // NewModelWorkers is NewModel with an explicit worker count for the
 // rasterization, force and Poisson kernels; workers <= 0 selects all
-// cores, 1 runs fully serial.
+// cores, 1 runs fully serial. The model compiles a private view of d
+// and re-syncs it from the Cell structs on every Refresh.
 func NewModelWorkers(d *netlist.Design, m, workers int) *Model {
+	return newModel(d.Compile(), m, workers, true)
+}
+
+// NewModelCompiled builds a density model over a caller-owned compiled
+// view. The caller keeps the view's positions current (the engine
+// writes them once per iteration via Compiled.SetPositions); Refresh
+// performs no struct-to-SoA sync.
+func NewModelCompiled(cv *netlist.Compiled, m, workers int) *Model {
+	return newModel(cv, m, workers, false)
+}
+
+func newModel(cv *netlist.Compiled, m, workers int, ownView bool) *Model {
+	d := cv.Design()
 	g := grid.New(d.Region, m)
 	md := &Model{
 		Grid:       g,
 		Solver:     poisson.NewSolverWorkers(m, workers),
 		d:          d,
+		cv:         cv,
+		ownView:    ownView,
 		rho:        make([]float64, m*m),
 		binAreaInv: 1 / g.BinArea(),
 		workers:    parallel.Count(workers),
 	}
 	for _, ci := range d.FixedCells() {
 		g.AddFixed(d.Cells[ci].Rect())
+	}
+	md.gradTask = func(_, lo, hi int) {
+		cv, grad := md.cv, md.gradBuf
+		n := len(md.gradIdx)
+		for k := lo; k < hi; k++ {
+			ci := md.gradIdx[k]
+			fx, fy := md.force(cv.PosX[ci], cv.PosY[ci], cv.CellW[ci], cv.CellH[ci])
+			// Convert grid-coordinate field to design units and negate the
+			// force (Eq. 8: dN/dx_i = 2 q_i xi_ix, pointing uphill).
+			grad[k] = -2 * fx / md.Grid.BinW
+			grad[k+n] = -2 * fy / md.Grid.BinH
+		}
 	}
 	return md
 }
@@ -66,16 +113,12 @@ func NewModelWorkers(d *netlist.Design, m, workers int) *Model {
 // the filler layer), solves the Poisson system and caches the total
 // energy. idx must cover every non-fixed cell that should carry charge.
 func (md *Model) Refresh(idx []int) {
+	if md.ownView {
+		md.cv.SyncGeometry()
+	}
 	md.Grid.ClearMovable()
-	if cap(md.objs) < len(idx) {
-		md.objs = make([]grid.Object, len(idx))
-	}
-	objs := md.objs[:len(idx)]
-	for i, ci := range idx {
-		c := &md.d.Cells[ci]
-		objs[i] = grid.Object{X: c.X, Y: c.Y, W: c.W, H: c.H, Filler: c.Kind == netlist.Filler}
-	}
-	md.Grid.AddObjects(objs, md.workers)
+	cv := md.cv
+	md.Grid.AddCellsSoA(idx, cv.PosX, cv.PosY, cv.CellW, cv.CellH, cv.Filler, md.workers)
 	md.Grid.Charge(md.rho)
 	for b := range md.rho {
 		md.rho[b] *= md.binAreaInv
@@ -98,32 +141,32 @@ func (md *Model) Overflow(rhoT float64) float64 { return md.Grid.Overflow(rhoT) 
 // the gradient is consistent with the energy. Cells shard over the
 // worker pool; every cell's force is an independent integral over the
 // solved field, so the result does not depend on the worker count.
+// Geometry comes from the compiled view as synced at the last Refresh.
 func (md *Model) Gradient(idx []int, grad []float64) {
 	n := len(idx)
 	if len(grad) != 2*n {
 		panic("density: gradient buffer size mismatch")
 	}
-	g := md.Grid
-	parallel.For(md.workers, n, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			c := &md.d.Cells[idx[k]]
-			fx, fy := md.forceOn(c)
-			// Convert grid-coordinate field to design units and negate the
-			// force (Eq. 8: dN/dx_i = 2 q_i xi_ix, pointing uphill).
-			grad[k] = -2 * fx / g.BinW
-			grad[k+n] = -2 * fy / g.BinH
-		}
-	})
+	md.gradIdx, md.gradBuf = idx, grad
+	parallel.For(md.workers, n, md.gradTask)
+	md.gradIdx, md.gradBuf = nil, nil
 }
 
-// forceOn integrates charge-density * field over the smoothed footprint
-// of cell c, returning the force components in grid units. It only
-// reads shared state (grid geometry, solved field planes) and is safe
-// to call from worker goroutines.
+// forceOn integrates the force on cell c's current struct geometry; it
+// is the pointer-based reference wrapper around force.
 func (md *Model) forceOn(c *netlist.Cell) (fx, fy float64) {
+	return md.force(c.X, c.Y, c.W, c.H)
+}
+
+// force integrates charge-density * field over the smoothed footprint
+// of an object centered at (cx, cy) with extents w x h, returning the
+// force components in grid units. It only reads shared state (grid
+// geometry, solved field planes) and is safe to call from worker
+// goroutines.
+func (md *Model) force(cx, cy, w, h float64) (fx, fy float64) {
 	g := md.Grid
 	m := g.M
-	r, scale := smoothedRect(g, c)
+	r, scale := smoothedRect(g, cx, cy, w, h)
 	i0 := int(math.Floor((r.Lx - g.Region.Lx) / g.BinW))
 	i1 := int(math.Ceil((r.Hx - g.Region.Lx) / g.BinW))
 	j0 := int(math.Floor((r.Ly - g.Region.Ly) / g.BinH))
@@ -164,9 +207,9 @@ func (md *Model) forceOn(c *netlist.Cell) (fx, fy float64) {
 
 // smoothedRect mirrors grid's local smoothing: sub-bin objects inflate
 // to sqrt(2) bins with charge preserved, clamped inside the region.
-func smoothedRect(g *grid.Grid, c *netlist.Cell) (r rectT, scale float64) {
+func smoothedRect(g *grid.Grid, cx, cy, w, h float64) (r rectT, scale float64) {
 	const inflate = math.Sqrt2
-	ew, eh := c.W, c.H
+	ew, eh := w, h
 	scale = 1.0
 	if minW := inflate * g.BinW; ew < minW {
 		scale *= ew / minW
@@ -176,10 +219,10 @@ func smoothedRect(g *grid.Grid, c *netlist.Cell) (r rectT, scale float64) {
 		scale *= eh / minH
 		eh = minH
 	}
-	lx := c.X - ew/2
-	ly := c.Y - eh/2
-	hx := c.X + ew/2
-	hy := c.Y + eh/2
+	lx := cx - ew/2
+	ly := cy - eh/2
+	hx := cx + ew/2
+	hy := cy + eh/2
 	// Clamp inside region (translate).
 	if lx < g.Region.Lx {
 		hx += g.Region.Lx - lx

@@ -14,6 +14,7 @@ import (
 	"eplace/internal/poisson"
 	"eplace/internal/synth"
 	"eplace/internal/telemetry"
+	"eplace/internal/wirelength"
 )
 
 // BenchOptions tunes the machine-readable benchmark harness.
@@ -130,6 +131,32 @@ func KernelMicrobench(workers int, budget time.Duration) []telemetry.MicroBench 
 			wide := poisson.NewSolverWorkers(m, workers)
 			out = append(out, timeKernel(fmt.Sprintf("poisson/Solve_%d_w%d", m, parallel.Count(workers)),
 				budget, func() { wide.Solve(rho) }))
+		}
+	}
+
+	// The fused WA wirelength kernel and the flat-view exact HPWL, at a
+	// small and a large design scale (the data-oriented hot path).
+	for _, cells := range []int{2000, 12000} {
+		d := synth.Generate(synth.Spec{
+			Name: fmt.Sprintf("wl-micro-%d", cells), NumCells: cells, NumMovableMacros: 4,
+		})
+		idx := d.Movable()
+		cv := d.Compile()
+		wl := wirelength.NewCompiled(cv, idx, 2.0)
+		wl.Workers = 1
+		grad := make([]float64, 2*len(idx))
+		out = append(out,
+			timeKernel(fmt.Sprintf("wirelength/CostAndGradient_%d_w1", cells), budget,
+				func() { wl.CostAndGradient(grad) }),
+			timeKernel(fmt.Sprintf("netlist/HPWL_%d", cells), budget,
+				func() { cv.HPWL() }),
+		)
+		if parallel.Count(workers) > 1 {
+			wide := wirelength.NewCompiled(cv, idx, 2.0)
+			wide.Workers = workers
+			out = append(out, timeKernel(
+				fmt.Sprintf("wirelength/CostAndGradient_%d_w%d", cells, parallel.Count(workers)),
+				budget, func() { wide.CostAndGradient(grad) }))
 		}
 	}
 	return out

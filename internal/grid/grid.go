@@ -33,11 +33,25 @@ type Grid struct {
 	Mov   []float64
 	Fill  []float64
 
-	// Batch rasterization scratch (AddObjects), reused across calls.
-	rObjs  []rasterObj
-	rowCnt []int
-	rowOff []int
-	rowIdx []int32
+	// Batch rasterization scratch (AddObjects/AddCellsSoA), reused
+	// across calls so steady-state rasterization allocates nothing.
+	rObjs   []rasterObj
+	rowCnt  []int
+	rowOff  []int
+	rowIdx  []int32
+	bounds  []int
+	nRaster int
+
+	// Per-call inputs for the persistent phase-1 closures (a closure
+	// passed to parallel.For escapes and would be heap-allocated on
+	// every call if it captured locals, so the inputs are threaded
+	// through fields instead).
+	objs                   []Object
+	soaIdx                 []int
+	soaX, soaY, soaW, soaH []float64
+	soaFill                []bool
+
+	objTask, soaTask, splatTask func(wk, lo, hi int)
 }
 
 // New creates an M x M grid over region. M must be a positive power of
@@ -49,7 +63,7 @@ func New(region geom.Rect, m int) *Grid {
 	if region.Empty() {
 		panic("grid: empty region")
 	}
-	return &Grid{
+	g := &Grid{
 		M:      m,
 		Region: region,
 		BinW:   region.W() / float64(m),
@@ -58,6 +72,30 @@ func New(region geom.Rect, m int) *Grid {
 		Mov:    make([]float64, m*m),
 		Fill:   make([]float64, m*m),
 	}
+	g.objTask = func(_, lo, hi int) {
+		ro := g.rObjs[:len(g.objs)]
+		for oi := lo; oi < hi; oi++ {
+			o := &g.objs[oi]
+			g.stage(ro, oi, o.X, o.Y, o.W, o.H, o.Filler)
+		}
+	}
+	g.soaTask = func(_, lo, hi int) {
+		ro := g.rObjs[:len(g.soaIdx)]
+		for k := lo; k < hi; k++ {
+			ci := g.soaIdx[k]
+			g.stage(ro, k, g.soaX[ci], g.soaY[ci], g.soaW[ci], g.soaH[ci], g.soaFill[ci])
+		}
+	}
+	g.splatTask = func(_, wlo, whi int) {
+		ro := g.rObjs[:g.nRaster]
+		rowIdx := g.rowIdx[:g.rowOff[g.M]]
+		for w := wlo; w < whi; w++ {
+			for j := g.bounds[w]; j < g.bounds[w+1]; j++ {
+				g.splatRow(j, ro, rowIdx[g.rowOff[j]:g.rowOff[j+1]])
+			}
+		}
+	}
+	return g
 }
 
 // ChooseM picks a power-of-two grid size so that the bin count is close
@@ -196,6 +234,33 @@ type rasterObj struct {
 	skip           bool
 }
 
+// stage smooths, clamps and bin-ranges one object into rasterObj slot
+// oi (phase 1 of batch rasterization; every slot is independent).
+func (g *Grid) stage(ro []rasterObj, oi int, cx, cy, w, h float64, filler bool) {
+	r, scale := g.smoothed(cx, cy, w, h)
+	if scale == 0 || r.Empty() {
+		ro[oi] = rasterObj{skip: true}
+		return
+	}
+	i0, i1 := g.binRange(r.Lx, r.Hx, g.Region.Lx, g.BinW)
+	j0, j1 := g.binRange(r.Ly, r.Hy, g.Region.Ly, g.BinH)
+	ro[oi] = rasterObj{
+		r: r, scale: scale, filler: filler,
+		i0: int32(i0), i1: int32(i1), j0: int32(j0), j1: int32(j1),
+	}
+}
+
+// ensureScratch sizes the rasterization scratch for n objects.
+func (g *Grid) ensureScratch(n int) {
+	if cap(g.rObjs) < n {
+		g.rObjs = make([]rasterObj, n)
+	}
+	if g.rowCnt == nil {
+		g.rowCnt = make([]int, g.M)
+		g.rowOff = make([]int, g.M+1)
+	}
+}
+
 // AddObjects rasterizes the objects into the movable and filler layers
 // with the same local smoothing as AddMovable/AddFiller, fanning the
 // work out over bin-row shards. Every bin row is owned by exactly one
@@ -206,36 +271,36 @@ type rasterObj struct {
 //	for _, o := range objs { AddMovable/AddFiller(o...) }
 //
 // making the result bitwise-identical for every worker count.
-// workers <= 0 selects all cores.
+// workers <= 0 selects all cores. Steady-state calls allocate nothing.
 func (g *Grid) AddObjects(objs []Object, workers int) {
 	workers = parallel.Count(workers)
-	m := g.M
-	if cap(g.rObjs) < len(objs) {
-		g.rObjs = make([]rasterObj, len(objs))
-	}
-	if g.rowCnt == nil {
-		g.rowCnt = make([]int, m)
-		g.rowOff = make([]int, m+1)
-	}
-	ro := g.rObjs[:len(objs)]
+	g.ensureScratch(len(objs))
+	g.objs = objs
+	parallel.For(workers, len(objs), g.objTask)
+	g.objs = nil
+	g.finishRaster(len(objs), workers)
+}
 
-	// Phase 1: smooth, clamp and bin-range every object (independent).
-	parallel.For(workers, len(objs), func(_, lo, hi int) {
-		for oi := lo; oi < hi; oi++ {
-			o := &objs[oi]
-			r, scale := g.smoothed(o.X, o.Y, o.W, o.H)
-			if scale == 0 || r.Empty() {
-				ro[oi] = rasterObj{skip: true}
-				continue
-			}
-			i0, i1 := g.binRange(r.Lx, r.Hx, g.Region.Lx, g.BinW)
-			j0, j1 := g.binRange(r.Ly, r.Hy, g.Region.Ly, g.BinH)
-			ro[oi] = rasterObj{
-				r: r, scale: scale, filler: o.Filler,
-				i0: int32(i0), i1: int32(i1), j0: int32(j0), j1: int32(j1),
-			}
-		}
-	})
+// AddCellsSoA rasterizes the cells in idx straight from SoA geometry
+// arrays (indexed by cell, as in netlist.Compiled): centers x/y,
+// extents w/h and filler flags. It shares phases 2-3 with AddObjects,
+// and phase 1 applies the identical smoothing arithmetic to the same
+// values, so the result is bitwise-identical to building []Object and
+// calling AddObjects — without the gather. Steady-state calls allocate
+// nothing.
+func (g *Grid) AddCellsSoA(idx []int, x, y, w, h []float64, filler []bool, workers int) {
+	workers = parallel.Count(workers)
+	g.ensureScratch(len(idx))
+	g.soaIdx, g.soaX, g.soaY, g.soaW, g.soaH, g.soaFill = idx, x, y, w, h, filler
+	parallel.For(workers, len(idx), g.soaTask)
+	g.soaIdx, g.soaX, g.soaY, g.soaW, g.soaH, g.soaFill = nil, nil, nil, nil, nil, nil
+	g.finishRaster(len(idx), workers)
+}
+
+// finishRaster runs phases 2-3 over the n staged rasterObjs.
+func (g *Grid) finishRaster(n, workers int) {
+	m := g.M
+	ro := g.rObjs[:n]
 
 	// Phase 2: bucket objects by the bin rows they touch (CSR layout,
 	// filled in ascending object order so each row's list is sorted).
@@ -273,7 +338,11 @@ func (g *Grid) AddObjects(objs []Object, workers int) {
 
 	// Phase 3: splat, sharded by bin row with shard boundaries balanced
 	// on the per-row entry counts (dense regions get narrower shards).
-	bounds := make([]int, workers+1)
+	if cap(g.bounds) < workers+1 {
+		g.bounds = make([]int, workers+1)
+	}
+	bounds := g.bounds[:workers+1]
+	bounds[0] = 0
 	bounds[workers] = m
 	for w := 1; w < workers; w++ {
 		target := total * w / workers
@@ -282,13 +351,8 @@ func (g *Grid) AddObjects(objs []Object, workers int) {
 			bounds[w] = m
 		}
 	}
-	parallel.For(workers, workers, func(_, wlo, whi int) {
-		for w := wlo; w < whi; w++ {
-			for j := bounds[w]; j < bounds[w+1]; j++ {
-				g.splatRow(j, ro, rowIdx[g.rowOff[j]:g.rowOff[j+1]])
-			}
-		}
-	})
+	g.nRaster = n
+	parallel.For(workers, workers, g.splatTask)
 }
 
 // splatRow accumulates the x-overlap of each listed object with bin row

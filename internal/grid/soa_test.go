@@ -1,0 +1,81 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eplace/internal/geom"
+)
+
+// randomBatch builds n random objects plus the SoA mirror arrays that
+// AddCellsSoA reads (indexed by a shuffled cell id, like a compiled
+// netlist view).
+func randomBatch(n int, seed int64) (objs []Object, idx []int, x, y, w, h []float64, filler []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	objs = make([]Object, n)
+	idx = make([]int, n)
+	total := 2 * n // SoA arrays cover more cells than the batch rasterizes
+	x = make([]float64, total)
+	y = make([]float64, total)
+	w = make([]float64, total)
+	h = make([]float64, total)
+	filler = make([]bool, total)
+	perm := rng.Perm(total)
+	for i := 0; i < n; i++ {
+		o := Object{
+			X: rng.Float64() * 100, Y: rng.Float64() * 100,
+			W: rng.Float64() * 10, H: rng.Float64() * 10,
+			Filler: rng.Intn(3) == 0,
+		}
+		objs[i] = o
+		ci := perm[i]
+		idx[i] = ci
+		x[ci], y[ci], w[ci], h[ci], filler[ci] = o.X, o.Y, o.W, o.H, o.Filler
+	}
+	return
+}
+
+// TestAddCellsSoAMatchesAddObjects locks the equivalence the density
+// model relies on: rasterizing straight from SoA arrays is bit-for-bit
+// the same as gathering []Object and calling AddObjects, at several
+// worker counts.
+func TestAddCellsSoAMatchesAddObjects(t *testing.T) {
+	region := geom.Rect{Hx: 100, Hy: 100}
+	objs, idx, x, y, w, h, filler := randomBatch(500, 5)
+	ref := New(region, 32)
+	ref.AddObjects(objs, 1)
+	for _, workers := range []int{1, 2, 7} {
+		g := New(region, 32)
+		g.AddCellsSoA(idx, x, y, w, h, filler, workers)
+		for b := range ref.Mov {
+			if math.Float64bits(g.Mov[b]) != math.Float64bits(ref.Mov[b]) ||
+				math.Float64bits(g.Fill[b]) != math.Float64bits(ref.Fill[b]) {
+				t.Fatalf("workers=%d: bin %d differs: mov %v vs %v, fill %v vs %v",
+					workers, b, g.Mov[b], ref.Mov[b], g.Fill[b], ref.Fill[b])
+			}
+		}
+	}
+}
+
+// TestRasterizeAllocFree pins the steady-state allocation contract of
+// both batch rasterization entry points at workers=1.
+func TestRasterizeAllocFree(t *testing.T) {
+	region := geom.Rect{Hx: 100, Hy: 100}
+	objs, idx, x, y, w, h, filler := randomBatch(300, 9)
+	g := New(region, 32)
+	g.AddObjects(objs, 1)                     // size scratch
+	g.AddCellsSoA(idx, x, y, w, h, filler, 1) // size scratch
+	if n := testing.AllocsPerRun(20, func() {
+		g.ClearMovable()
+		g.AddObjects(objs, 1)
+	}); n != 0 {
+		t.Errorf("AddObjects allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		g.ClearMovable()
+		g.AddCellsSoA(idx, x, y, w, h, filler, 1)
+	}); n != 0 {
+		t.Errorf("AddCellsSoA allocates %v times per call, want 0", n)
+	}
+}

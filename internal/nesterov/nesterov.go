@@ -110,6 +110,11 @@ func (o *Optimizer) Backtracks() int { return o.backtracks }
 // steplength and the number of backtracks taken. When disableBkTrk is
 // true the Lipschitz prediction is used unchecked (the ablation of
 // Sec. V-C).
+//
+// Step allocates nothing: all iteration state lives in the buffers
+// preallocated by New, so a full placement iteration stays
+// allocation-free as long as the callbacks do (the engine's gradient
+// pipeline guarantees this at Workers=1).
 func (o *Optimizer) Step(disableBkTrk bool) (alpha float64, backtracks int) {
 	n := len(o.V)
 	aNext := (1 + math.Sqrt(4*o.a*o.a+1)) / 2

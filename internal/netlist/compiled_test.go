@@ -1,0 +1,186 @@
+package netlist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eplace/internal/geom"
+)
+
+// TestCompileStructure checks the CSR invariants on a random design:
+// offsets are the pin-count prefix sum, slots appear in (net, pin)
+// order, and every slot round-trips to its Design.Pins entry.
+func TestCompileStructure(t *testing.T) {
+	d := randomDesign(3)
+	cv := d.Compile()
+	if got, want := cv.NumPinSlots(), len(d.Pins); got != want {
+		t.Fatalf("pin slots = %d, want %d", got, want)
+	}
+	s := 0
+	for ni := range d.Nets {
+		if int(cv.NetOff[ni]) != s {
+			t.Fatalf("NetOff[%d] = %d, want %d", ni, cv.NetOff[ni], s)
+		}
+		for _, pi := range d.Nets[ni].Pins {
+			if int(cv.PinIndex[s]) != pi {
+				t.Fatalf("slot %d: PinIndex %d, want %d", s, cv.PinIndex[s], pi)
+			}
+			p := &d.Pins[pi]
+			if int(cv.PinCell[s]) != p.Cell || cv.PinOx[s] != p.Ox || cv.PinOy[s] != p.Oy {
+				t.Fatalf("slot %d does not mirror pin %d", s, pi)
+			}
+			x, y := cv.PinPosSlot(s)
+			pos := d.PinPos(pi)
+			if math.Float64bits(x) != math.Float64bits(pos.X) ||
+				math.Float64bits(y) != math.Float64bits(pos.Y) {
+				t.Fatalf("slot %d position (%v,%v) != PinPos %v", s, x, y, pos)
+			}
+			s++
+		}
+		if cv.NetW[ni] != d.Nets[ni].EffWeight() {
+			t.Fatalf("NetW[%d] = %v, want %v", ni, cv.NetW[ni], d.Nets[ni].EffWeight())
+		}
+	}
+	if int(cv.NetOff[len(d.Nets)]) != s {
+		t.Fatalf("final offset %d, want %d", cv.NetOff[len(d.Nets)], s)
+	}
+}
+
+// TestCompiledHPWLMatchesDesign locks the equivalence the engine relies
+// on: the flat-view HPWL is bit-for-bit the pointer-based Design.HPWL
+// across random designs, both at compile-time positions and after
+// moving cells through either write path.
+func TestCompiledHPWLMatchesDesign(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDesign(seed)
+		cv := d.Compile()
+		if math.Float64bits(cv.HPWL()) != math.Float64bits(d.HPWL()) {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		idx := d.Movable()
+		v := make([]float64, 2*len(idx))
+		for i := range v {
+			v[i] = rng.Float64() * 100
+		}
+		// SoA write path (the engine's): view moves, structs stale.
+		cv.SetPositions(idx, v)
+		// Struct write path: sync brings the view up to date.
+		d.SetPositions(idx, v)
+		if math.Float64bits(cv.HPWL()) != math.Float64bits(d.HPWL()) {
+			return false
+		}
+		cv.SyncGeometry()
+		return math.Float64bits(cv.HPWL()) == math.Float64bits(d.HPWL())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledHPWLAllocFree pins the engine-loop contract: evaluating
+// HPWL on the view allocates nothing.
+func TestCompiledHPWLAllocFree(t *testing.T) {
+	d := randomDesign(7)
+	cv := d.Compile()
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() { sink = cv.HPWL() }); n != 0 {
+		t.Errorf("Compiled.HPWL allocates %v times per call", n)
+	}
+	_ = sink
+}
+
+// TestSyncNetWeights checks weight changes propagate through the sync.
+func TestSyncNetWeights(t *testing.T) {
+	d := randomDesign(11)
+	cv := d.Compile()
+	d.Nets[0].Weight = 4.5
+	cv.SyncNetWeights()
+	if cv.NetW[0] != 4.5 {
+		t.Fatalf("NetW[0] = %v after sync, want 4.5", cv.NetW[0])
+	}
+	if math.Float64bits(cv.HPWL()) != math.Float64bits(d.HPWL()) {
+		t.Fatal("HPWL diverged after weight change + sync")
+	}
+}
+
+// TestSyncGeometryGrowth checks the view survives cells appended after
+// Compile (the density model's own-view case with late fillers).
+func TestSyncGeometryGrowth(t *testing.T) {
+	d := randomDesign(13)
+	cv := d.Compile()
+	ci := d.AddCell(Cell{W: 2, H: 2, X: 9, Y: 9, Kind: Filler})
+	cv.SyncGeometry()
+	if cv.PosX[ci] != 9 || !cv.Filler[ci] || cv.CellW[ci] != 2 {
+		t.Fatalf("appended cell not mirrored: x=%v filler=%v w=%v",
+			cv.PosX[ci], cv.Filler[ci], cv.CellW[ci])
+	}
+}
+
+// TestPositionsInto checks the allocation-free variant matches
+// Positions and round-trips through SetPositions.
+func TestPositionsInto(t *testing.T) {
+	d := randomDesign(17)
+	idx := d.Movable()
+	want := d.Positions(idx)
+	got := make([]float64, 2*len(idx))
+	d.PositionsInto(idx, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PositionsInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := testing.AllocsPerRun(50, func() { d.PositionsInto(idx, got) }); n != 0 {
+		t.Errorf("PositionsInto allocates %v times per call", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PositionsInto accepted a short buffer")
+		}
+	}()
+	d.PositionsInto(idx, got[:1])
+}
+
+// benchDesign builds a larger design for the HPWL microbenchmarks.
+func benchDesign(cells int) *Design {
+	rng := rand.New(rand.NewSource(42))
+	d := New("bench", geom.Rect{Hx: 1000, Hy: 1000})
+	var idx []int
+	for i := 0; i < cells; i++ {
+		idx = append(idx, d.AddCell(Cell{
+			W: 2, H: 2, X: rng.Float64() * 1000, Y: rng.Float64() * 1000,
+		}))
+	}
+	for k := 0; k < cells; k++ {
+		ni := d.AddNet("", 1)
+		deg := 2 + rng.Intn(5)
+		for p := 0; p < deg; p++ {
+			d.Connect(idx[rng.Intn(len(idx))], ni, rng.Float64()-0.5, rng.Float64()-0.5)
+		}
+	}
+	return d
+}
+
+// BenchmarkHPWL measures the pointer-chasing Design.HPWL reference.
+func BenchmarkHPWL(b *testing.B) {
+	d := benchDesign(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.HPWL()
+	}
+}
+
+// BenchmarkCompiledHPWL measures the flat CSR/SoA HPWL the engine loop
+// uses.
+func BenchmarkCompiledHPWL(b *testing.B) {
+	d := benchDesign(10000)
+	cv := d.Compile()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cv.HPWL()
+	}
+}

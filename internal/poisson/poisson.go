@@ -71,12 +71,25 @@ type Solver struct {
 	// Whole-plane scratch: ta/tb carry the forward passes, and all
 	// three hold the re-transposed G planes for the inverse x-pass.
 	ta, tb, tc []float64
-	// epart holds the fixed-order Energy partial sums.
-	epart [energyShards]float64
+	// epart holds the fixed-order Energy partial sums; eShards is the
+	// effective shard count (fixed at construction).
+	epart   [energyShards]float64
+	eShards int
 	// Outputs, valid after Solve.
 	Psi []float64 // potential at bin centers
 	Ex  []float64 // -d psi / dx
 	Ey  []float64 // -d psi / dy
+
+	// Per-call inputs for the persistent task closures below. Closures
+	// handed to parallel.For escape; capturing per-call locals would
+	// heap-allocate one closure per pass per Solve, so the passes are
+	// built once here and their varying inputs threaded through fields.
+	rho        []float64 // charge plane of the current Solve/Energy
+	tSrc, tDst []float64 // planes of the current transpose
+
+	fwdRowsTask, fwdColsTask, normTask func(w, lo, hi int)
+	invYTask, invXTask                 func(w, lo, hi int)
+	transposeTask, energyTask          func(w, lo, hi int)
 }
 
 // NewSolver creates a solver for an m x m grid (m a power of two)
@@ -120,52 +133,129 @@ func NewSolverWorkers(m, workers int) *Solver {
 	for u := 0; u < m; u++ {
 		s.wu[u] = math.Pi * float64(u) / float64(m)
 	}
+	s.eShards = energyShards
+	if s.eShards > m*m {
+		s.eShards = m * m
+	}
+	s.buildTasks()
 	return s
+}
+
+// buildTasks creates the persistent worker closures for every parallel
+// pass. Each task receives a contiguous shard [lo, hi) of its fixed
+// index space (row pairs, frequency rows, transpose tile bands or
+// energy shards); the shard boundaries parallel.For picks never affect
+// the values each index computes, preserving bitwise determinism.
+func (s *Solver) buildTasks() {
+	m := s.m
+	s.fwdRowsTask = func(w, lo, hi int) {
+		rho := s.rho
+		for k := lo; k < hi; k++ {
+			j := 2 * k
+			s.trs[w].DCT2Pair(rho[j*m:(j+1)*m], rho[(j+1)*m:(j+2)*m],
+				s.ta[j*m:(j+1)*m], s.ta[(j+1)*m:(j+2)*m])
+		}
+	}
+	s.fwdColsTask = func(w, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			u := 2 * k
+			r0, r1 := s.tb[u*m:(u+1)*m], s.tb[(u+1)*m:(u+2)*m]
+			s.trs[w].DCT2Pair(r0, r1, r0, r1)
+		}
+	}
+	s.normTask = func(_, lo, hi int) {
+		norm := 4 / float64(m*m)
+		for u := lo; u < hi; u++ {
+			su := 1.0
+			if u == 0 {
+				su = 0.5
+			}
+			wu := s.wu[u]
+			base := u * m
+			for v := 0; v < m; v++ {
+				sv := 1.0
+				if v == 0 {
+					sv = 0.5
+				}
+				a := s.tb[base+v] * norm * su * sv
+				wv := s.wu[v]
+				k2 := wu*wu + wv*wv
+				var b float64
+				if k2 > 0 {
+					b = a / k2
+				}
+				s.buv[base+v] = b
+				s.cxuv[base+v] = b * wu
+				s.cyuv[base+v] = b * wv
+			}
+		}
+	}
+	s.invYTask = func(w, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			u := 2 * k
+			tr := s.trs[w]
+			b0, b1 := s.buv[u*m:(u+1)*m], s.buv[(u+1)*m:(u+2)*m]
+			cx0, cx1 := s.cxuv[u*m:(u+1)*m], s.cxuv[(u+1)*m:(u+2)*m]
+			cy0, cy1 := s.cyuv[u*m:(u+1)*m], s.cyuv[(u+1)*m:(u+2)*m]
+			tr.IDCTPair(b0, cx0, b0, cx0)
+			tr.IDCTPair(b1, cx1, b1, cx1)
+			tr.IDSTPair(cy0, cy1, cy0, cy1)
+		}
+	}
+	s.invXTask = func(w, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			j := 2 * k
+			tr := s.trs[w]
+			tr.IDCTPair(s.ta[j*m:(j+1)*m], s.tb[j*m:(j+1)*m],
+				s.Psi[j*m:(j+1)*m], s.Ey[j*m:(j+1)*m])
+			tr.IDCTPair(s.ta[(j+1)*m:(j+2)*m], s.tb[(j+1)*m:(j+2)*m],
+				s.Psi[(j+1)*m:(j+2)*m], s.Ey[(j+1)*m:(j+2)*m])
+			tr.IDSTPair(s.tc[j*m:(j+1)*m], s.tc[(j+1)*m:(j+2)*m],
+				s.Ex[j*m:(j+1)*m], s.Ex[(j+1)*m:(j+2)*m])
+		}
+	}
+	s.transposeTask = func(_, lo, hi int) {
+		src, dst := s.tSrc, s.tDst
+		for bi := lo; bi < hi; bi++ {
+			i0 := bi * tblk
+			i1 := min(i0+tblk, m)
+			for j0 := 0; j0 < m; j0 += tblk {
+				j1 := min(j0+tblk, m)
+				for i := i0; i < i1; i++ {
+					row := dst[i*m : (i+1)*m]
+					for j := j0; j < j1; j++ {
+						row[j] = src[j*m+i]
+					}
+				}
+			}
+		}
+	}
+	s.energyTask = func(_, lo, hi int) {
+		n := m * m
+		shards := s.eShards
+		rho := s.rho
+		for sh := lo; sh < hi; sh++ {
+			a, b := sh*n/shards, (sh+1)*n/shards
+			e := 0.0
+			for k := a; k < b; k++ {
+				e += rho[k] * s.Psi[k]
+			}
+			s.epart[sh] = e
+		}
+	}
 }
 
 // M returns the grid size.
 func (s *Solver) M() int { return s.m }
 
-// pfor runs fn(worker, i) for i in [0, n) across the worker pool. Each
-// worker owns one contiguous index shard and one fft.Real workspace.
-func (s *Solver) pfor(n int, fn func(worker, i int)) {
-	parallel.For(len(s.trs), n, func(w, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			fn(w, i)
-		}
-	})
-}
-
-// pforPairs runs fn(worker, row) for every even row in [0, m), each
-// call owning rows row and row+1. Pair boundaries are fixed, so the
-// work decomposition is identical at every worker count.
-func (s *Solver) pforPairs(fn func(worker, row int)) {
-	parallel.For(len(s.trs), s.m/2, func(w, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			fn(w, 2*k)
-		}
-	})
-}
-
 // transpose writes dst[i*m+j] = src[j*m+i] tile by tile (tblk square
 // tiles), sharding tile rows of dst across the pool. Each task owns a
 // disjoint band of dst rows.
 func (s *Solver) transpose(src, dst []float64) {
-	m := s.m
-	nb := (m + tblk - 1) / tblk
-	s.pfor(nb, func(_, bi int) {
-		i0 := bi * tblk
-		i1 := min(i0+tblk, m)
-		for j0 := 0; j0 < m; j0 += tblk {
-			j1 := min(j0+tblk, m)
-			for i := i0; i < i1; i++ {
-				row := dst[i*m : (i+1)*m]
-				for j := j0; j < j1; j++ {
-					row[j] = src[j*m+i]
-				}
-			}
-		}
-	})
+	nb := (s.m + tblk - 1) / tblk
+	s.tSrc, s.tDst = src, dst
+	parallel.For(len(s.trs), nb, s.transposeTask)
+	s.tSrc, s.tDst = nil, nil
 }
 
 // Solve computes Psi, Ex and Ey from the charge plane rho (length m*m,
@@ -182,62 +272,29 @@ func (s *Solver) Solve(rho []float64) {
 		return
 	}
 
+	workers := len(s.trs)
+	pairs := m / 2
+
 	// Forward 2D DCT-II. Rows (x direction) first, two rows per FFT.
-	s.pforPairs(func(w, j int) {
-		s.trs[w].DCT2Pair(rho[j*m:(j+1)*m], rho[(j+1)*m:(j+2)*m],
-			s.ta[j*m:(j+1)*m], s.ta[(j+1)*m:(j+2)*m])
-	})
+	s.rho = rho
+	parallel.For(workers, pairs, s.fwdRowsTask)
+	s.rho = nil
 	// Columns (y direction): transpose so the pass runs on contiguous
 	// rows, transforming in place. tb ends as X_{uv} transposed [u,v].
 	s.transpose(s.ta, s.tb)
-	s.pforPairs(func(w, u int) {
-		r0, r1 := s.tb[u*m:(u+1)*m], s.tb[(u+1)*m:(u+2)*m]
-		s.trs[w].DCT2Pair(r0, r1, r0, r1)
-	})
+	parallel.For(workers, pairs, s.fwdColsTask)
 
 	// Normalize so that rho[j][i] = sum a_{uv} cos(wu(i+1/2)) cos(wv(j+1/2)):
 	// a_{uv} = (2 s_u / m)(2 s_v / m) * X_{uv}, s_0 = 1/2 else 1, and
 	// fold in the potential and field coefficients in the same pass
-	// (all planes stay in the transposed [u,v] layout).
-	norm := 4 / float64(m*m)
-	s.pfor(m, func(_, u int) {
-		su := 1.0
-		if u == 0 {
-			su = 0.5
-		}
-		wu := s.wu[u]
-		base := u * m
-		for v := 0; v < m; v++ {
-			sv := 1.0
-			if v == 0 {
-				sv = 0.5
-			}
-			a := s.tb[base+v] * norm * su * sv
-			wv := s.wu[v]
-			k2 := wu*wu + wv*wv
-			var b float64
-			if k2 > 0 {
-				b = a / k2
-			}
-			s.buv[base+v] = b
-			s.cxuv[base+v] = b * wu
-			s.cyuv[base+v] = b * wv
-		}
-	})
+	// (all planes stay in the transposed [u,v] layout; see normTask).
+	parallel.For(workers, m, s.normTask)
 
 	// Inverse y-pass, in place on the coefficient planes:
 	//   Psi = IDCT_y(buv), Ex = IDCT_y(cxuv), Ey = IDST_y(cyuv).
 	// Psi and Ex need the same transform kind, so each u row pairs them
 	// into one FFT; the two Ey rows of the pair share another.
-	s.pforPairs(func(w, u int) {
-		tr := s.trs[w]
-		b0, b1 := s.buv[u*m:(u+1)*m], s.buv[(u+1)*m:(u+2)*m]
-		cx0, cx1 := s.cxuv[u*m:(u+1)*m], s.cxuv[(u+1)*m:(u+2)*m]
-		cy0, cy1 := s.cyuv[u*m:(u+1)*m], s.cyuv[(u+1)*m:(u+2)*m]
-		tr.IDCTPair(b0, cx0, b0, cx0)
-		tr.IDCTPair(b1, cx1, b1, cx1)
-		tr.IDSTPair(cy0, cy1, cy0, cy1)
-	})
+	parallel.For(workers, pairs, s.invYTask)
 
 	// Back to row-major [j, u] for the x-pass.
 	s.transpose(s.buv, s.ta)
@@ -248,15 +305,7 @@ func (s *Solver) Solve(rho []float64) {
 	//   Psi = IDCT_x, Ey = IDCT_x (paired), Ex = IDST_x (row pairs).
 	// Ex = -d psi/dx = +sum b wu sin cos: psi's x-cosine differentiates
 	// to -wu sin; Ey symmetric in y.
-	s.pforPairs(func(w, j int) {
-		tr := s.trs[w]
-		tr.IDCTPair(s.ta[j*m:(j+1)*m], s.tb[j*m:(j+1)*m],
-			s.Psi[j*m:(j+1)*m], s.Ey[j*m:(j+1)*m])
-		tr.IDCTPair(s.ta[(j+1)*m:(j+2)*m], s.tb[(j+1)*m:(j+2)*m],
-			s.Psi[(j+1)*m:(j+2)*m], s.Ey[(j+1)*m:(j+2)*m])
-		tr.IDSTPair(s.tc[j*m:(j+1)*m], s.tc[(j+1)*m:(j+2)*m],
-			s.Ex[j*m:(j+1)*m], s.Ex[(j+1)*m:(j+2)*m])
-	})
+	parallel.For(workers, pairs, s.invXTask)
 }
 
 // Energy returns the total electric potential energy N = sum_b rho_b * psi_b
@@ -272,23 +321,11 @@ func (s *Solver) Energy(rho []float64) float64 {
 	if len(rho) != len(s.Psi) {
 		panic("poisson: charge plane size mismatch")
 	}
-	n := len(rho)
-	shards := energyShards
-	if shards > n {
-		shards = n
-	}
-	parallel.For(len(s.trs), shards, func(_, lo, hi int) {
-		for sh := lo; sh < hi; sh++ {
-			a, b := sh*n/shards, (sh+1)*n/shards
-			e := 0.0
-			for k := a; k < b; k++ {
-				e += rho[k] * s.Psi[k]
-			}
-			s.epart[sh] = e
-		}
-	})
+	s.rho = rho
+	parallel.For(len(s.trs), s.eShards, s.energyTask)
+	s.rho = nil
 	e := 0.0
-	for _, p := range s.epart[:shards] {
+	for _, p := range s.epart[:s.eShards] {
 		e += p
 	}
 	return e

@@ -1,0 +1,109 @@
+package wirelength
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCompiledBackedEquivalence is the property test for the tentpole:
+// across random designs, both smoothing kinds and worker counts
+// {1, 2, 7}, a model over a caller-owned compiled view (the engine's
+// configuration, positions written only through Compiled.SetPositions)
+// produces cost and gradient bit-for-bit identical to the pointer-based
+// serial reference, and the view's HPWL matches Design.HPWL.
+func TestCompiledBackedEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%60)
+		d, idx := randomDesign(n, seed)
+		cv := d.Compile()
+		rng := rand.New(rand.NewSource(seed ^ 0xfade))
+		v := make([]float64, 2*len(idx))
+		for i := range v {
+			v[i] = rng.Float64() * 100
+		}
+		// Engine write path: the view moves, then (for the reference
+		// model, which reads the structs) the design follows.
+		cv.SetPositions(idx, v)
+		d.SetPositions(idx, v)
+		if math.Float64bits(cv.HPWL()) != math.Float64bits(d.HPWL()) {
+			t.Logf("seed %d: compiled HPWL diverged", seed)
+			return false
+		}
+		for _, kind := range []Kind{WA, LSE} {
+			m := NewCompiled(cv, idx, 1.7)
+			m.Kind = kind
+			ref := New(d, idx, 1.7)
+			ref.Kind = kind
+			refGrad := make([]float64, 2*len(idx))
+			refCost := serialReference(ref, refGrad)
+			grad := make([]float64, 2*len(idx))
+			for _, workers := range []int{1, 2, 7} {
+				m.Workers = workers
+				cost := m.CostAndGradient(grad)
+				if math.Float64bits(cost) != math.Float64bits(refCost) {
+					t.Logf("seed %d kind %d workers %d: cost mismatch", seed, kind, workers)
+					return false
+				}
+				for i := range grad {
+					if math.Float64bits(grad[i]) != math.Float64bits(refGrad[i]) {
+						t.Logf("seed %d kind %d workers %d: grad[%d] mismatch", seed, kind, workers, i)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCostAndGradientAllocFree pins the allocation contract of the
+// fused kernel: at Workers=1, repeated evaluations allocate nothing
+// (own-view and shared-view models alike).
+func TestCostAndGradientAllocFree(t *testing.T) {
+	d, idx := randomDesign(300, 3)
+	grad := make([]float64, 2*len(idx))
+	for name, m := range map[string]*Model{
+		"ownView":  New(d, idx, 1.0),
+		"compiled": NewCompiled(d.Compile(), idx, 1.0),
+	} {
+		m.Workers = 1
+		m.CostAndGradient(grad) // warm up scratch
+		if n := testing.AllocsPerRun(50, func() { m.CostAndGradient(grad) }); n != 0 {
+			t.Errorf("%s: CostAndGradient allocates %v times per call", name, n)
+		}
+		if n := testing.AllocsPerRun(50, func() { m.Cost() }); n != 0 {
+			t.Errorf("%s: Cost allocates %v times per call", name, n)
+		}
+	}
+}
+
+// TestFusedMatchesUnfusedAxis locks the exp-caching rewrite against the
+// retained reference kernels: the fused per-net evaluation must
+// reproduce axisWA/axisLSE (which recompute every exponential) bit for
+// bit, including the hoisted loop-invariant divisions.
+func TestFusedMatchesUnfusedAxis(t *testing.T) {
+	d, idx := randomDesign(120, 9)
+	for _, kind := range []Kind{WA, LSE} {
+		m := New(d, idx, 0.9)
+		m.Kind = kind
+		grad := make([]float64, 2*len(idx))
+		got := m.CostAndGradient(grad)
+		refGrad := make([]float64, 2*len(idx))
+		want := serialReference(m, refGrad)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("kind %d: fused cost %x, unfused %x", kind,
+				math.Float64bits(got), math.Float64bits(want))
+		}
+		for i := range grad {
+			if math.Float64bits(grad[i]) != math.Float64bits(refGrad[i]) {
+				t.Fatalf("kind %d: fused grad[%d] = %x, unfused %x", kind, i,
+					math.Float64bits(grad[i]), math.Float64bits(refGrad[i]))
+			}
+		}
+	}
+}

@@ -3,10 +3,20 @@
 // ePlace and the log-sum-exp (LSE) model used by the bell-shape baseline
 // placers. Both approach HPWL as the smoothing parameter gamma tends to
 // zero; WA from below with tighter error, LSE from above.
+//
+// Evaluation runs on the compiled CSR view of the design
+// (netlist.Compiled): flat int32 net->pin arrays, SoA pin offsets and a
+// shared SoA position vector, walked by a fused kernel that computes
+// each net's pin positions, min/max, exponentials, partial sums and —
+// reusing the cached exponentials — the per-pin derivatives in a single
+// sweep. That halves the math.Exp calls of the classic
+// cost-loop-then-gradient-loop formulation and removes every
+// Net -> Pin -> Cell pointer chase from the hot path.
 package wirelength
 
 import (
 	"math"
+	"sort"
 
 	"eplace/internal/netlist"
 	"eplace/internal/parallel"
@@ -22,6 +32,13 @@ const (
 	LSE
 )
 
+// evalTasks is the fixed number of net (and cell) tasks the evaluation
+// shards into. Task boundaries are precomputed from the pin-count
+// prefix sum — balanced pin work per task, not balanced net counts —
+// and do not depend on the worker count, so the work decomposition is
+// identical for every Workers setting.
+const evalTasks = 64
+
 // Model evaluates smooth wirelength over one design. The cell-to-slot
 // mapping is fixed at construction: gradients are produced only for the
 // cells passed to New, all other cells contribute as fixed terminals.
@@ -32,47 +49,86 @@ const (
 // internal: set Workers and call Cost/CostAndGradient from one
 // goroutine. The design's net/pin topology must not change after New
 // (net weights may change between evaluations; Gamma and Kind too).
+//
+// Allocation contract: after the first evaluation at a given worker
+// count, Cost and CostAndGradient allocate nothing at Workers <= 1 and
+// only goroutine-spawn bookkeeping beyond that — the evaluation state
+// lives in buffers sized at construction.
 type Model struct {
 	Kind  Kind
 	Gamma float64
-	// Workers is the number of shards used for net evaluation and
-	// gradient scatter; <= 0 selects all cores (GOMAXPROCS). Results
-	// are bitwise-identical for every worker count: per-net terms are
+	// Workers is the number of workers for net evaluation and gradient
+	// scatter; <= 0 selects all cores (GOMAXPROCS). Results are
+	// bitwise-identical for every worker count: per-net terms are
 	// computed independently and reduced in a fixed (net, pin) order
 	// that matches the serial loop exactly.
 	Workers int
 
-	d    *netlist.Design
-	idx  []int
-	slot []int // cell index -> position in idx, or -1
+	d       *netlist.Design
+	cv      *netlist.Compiled
+	ownView bool // true when the model compiled cv itself and must re-sync
+	idx     []int
+	slot    []int // cell index -> position in idx, or -1
 
 	// Deterministic reduction state (see eval). costs holds each net's
-	// weighted smooth cost; pinGX/pinGY hold each pin's weighted
-	// gradient contribution, written by exactly one worker (the one
-	// owning the pin's net). adjPin lists, for model cell k, the pins
-	// adjPin[adjOff[k]:adjOff[k+1]] that contribute to its gradient,
-	// sorted by (net index, position within the net) — the exact order
-	// the serial scatter visits them, so the left-to-right fold per
-	// cell reproduces the serial sum bit for bit.
-	costs  []float64
-	pinGX  []float64
-	pinGY  []float64
-	adjOff []int
-	adjPin []int
+	// weighted smooth cost; pinGX/pinGY hold each CSR pin slot's
+	// weighted gradient contribution, written by exactly one worker (the
+	// one owning the slot's net task). adjSlot lists, for model cell k,
+	// the CSR slots adjSlot[adjOff[k]:adjOff[k+1]] that contribute to
+	// its gradient in ascending slot order — which IS (net index,
+	// position within the net) order, the exact order the serial scatter
+	// visits them, so the left-to-right fold per cell reproduces the
+	// serial sum bit for bit.
+	costs   []float64
+	pinGX   []float64
+	pinGY   []float64
+	adjOff  []int32
+	adjSlot []int32
+
+	// Fixed task boundaries: netTaskOff[t]..netTaskOff[t+1] are the nets
+	// of task t (pin-balanced via the NetOff prefix sum), cellTaskOff
+	// likewise for the gradient scatter (adjacency-balanced).
+	netTaskOff  []int32
+	cellTaskOff []int32
 
 	maxDeg int
 	scr    []*netScratch // per-worker scratch, grown on demand
+
+	// grad is the gradient destination for the current eval (nil for
+	// cost-only); netTask/cellTask are the persistent worker closures,
+	// built once so repeated evaluations allocate nothing.
+	grad     []float64
+	netTask  func(wk, lo, hi int)
+	cellTask func(wk, lo, hi int)
 }
 
-// netScratch is one worker's per-net buffers.
+// netScratch is one worker's per-net buffers: pin coordinates for one
+// axis pair and the cached e^+ / e^- exponentials the fused kernel
+// shares between the span sums and the derivative pass.
 type netScratch struct {
-	xs, ys, gx, gy []float64
+	xs, ys, ep, em []float64
 }
 
-// New builds a model producing gradients for the cells in idx.
-// Gamma must be positive; it can be changed between evaluations.
+// New builds a model producing gradients for the cells in idx, backed
+// by a private compiled view of d that re-syncs from the Cell structs
+// on every evaluation. Gamma must be positive; it can be changed
+// between evaluations.
 func New(d *netlist.Design, idx []int, gamma float64) *Model {
-	m := &Model{Kind: WA, Gamma: gamma, d: d, idx: idx}
+	return newModel(d.Compile(), idx, gamma, true)
+}
+
+// NewCompiled builds a model over a caller-owned compiled view. The
+// caller is responsible for keeping the view's positions (and, if they
+// change, net weights) current — the engine writes them once per
+// iteration via Compiled.SetPositions instead of paying a full
+// struct-to-SoA sync per kernel call.
+func NewCompiled(cv *netlist.Compiled, idx []int, gamma float64) *Model {
+	return newModel(cv, idx, gamma, false)
+}
+
+func newModel(cv *netlist.Compiled, idx []int, gamma float64, ownView bool) *Model {
+	d := cv.Design()
+	m := &Model{Kind: WA, Gamma: gamma, d: d, cv: cv, idx: idx, ownView: ownView}
 	m.slot = make([]int, len(d.Cells))
 	for i := range m.slot {
 		m.slot[i] = -1
@@ -81,52 +137,105 @@ func New(d *netlist.Design, idx []int, gamma float64) *Model {
 		m.slot[ci] = k
 	}
 	for ni := range d.Nets {
-		if deg := len(d.Nets[ni].Pins); deg > m.maxDeg {
+		if deg := int(cv.NetOff[ni+1] - cv.NetOff[ni]); deg > m.maxDeg {
 			m.maxDeg = deg
 		}
 	}
 	m.costs = make([]float64, len(d.Nets))
-	m.pinGX = make([]float64, len(d.Pins))
-	m.pinGY = make([]float64, len(d.Pins))
+	m.pinGX = make([]float64, cv.NumPinSlots())
+	m.pinGY = make([]float64, cv.NumPinSlots())
 	m.buildAdjacency()
+	m.netTaskOff = balancedTasks(cv.NetOff, len(d.Nets))
+	m.cellTaskOff = balancedTasks(m.adjOff, len(idx))
+	m.netTask = func(wk, lo, hi int) {
+		s := m.scr[wk]
+		for t := lo; t < hi; t++ {
+			for ni := int(m.netTaskOff[t]); ni < int(m.netTaskOff[t+1]); ni++ {
+				m.evalNet(ni, s)
+			}
+		}
+	}
+	m.cellTask = func(_, lo, hi int) {
+		n := len(m.idx)
+		grad := m.grad
+		for t := lo; t < hi; t++ {
+			for k := int(m.cellTaskOff[t]); k < int(m.cellTaskOff[t+1]); k++ {
+				var gx, gy float64
+				for _, s := range m.adjSlot[m.adjOff[k]:m.adjOff[k+1]] {
+					gx += m.pinGX[s]
+					gy += m.pinGY[s]
+				}
+				grad[k] = gx
+				grad[k+n] = gy
+			}
+		}
+	}
 	return m
 }
 
+// balancedTasks splits count items into at most evalTasks contiguous
+// tasks whose boundaries equalize the prefix-sum weight off (off has
+// length count+1; for nets that is the pin count, for cells the
+// adjacency length). The boundaries depend only on the topology, never
+// on the worker count.
+func balancedTasks(off []int32, count int) []int32 {
+	nT := evalTasks
+	if nT > count {
+		nT = count
+	}
+	b := make([]int32, nT+1)
+	if nT == 0 {
+		return b
+	}
+	total := int(off[count])
+	b[nT] = int32(count)
+	for t := 1; t < nT; t++ {
+		target := int32(total * t / nT)
+		i := sort.Search(count, func(i int) bool { return off[i] >= target })
+		if i < int(b[t-1]) {
+			i = int(b[t-1])
+		}
+		b[t] = int32(i)
+	}
+	return b
+}
+
 // buildAdjacency precomputes, for every model cell, its gradient-
-// contributing pins in serial scatter order (net index ascending, then
-// pin position within the net). Pins on degree<2 nets never contribute
-// and are excluded, as are pins of fixed terminals.
+// contributing CSR pin slots in ascending slot order (net index
+// ascending, then pin position within the net) — the serial scatter
+// order. Pins on degree<2 nets never contribute and are excluded, as
+// are pins of floating terminals and non-model cells.
 func (m *Model) buildAdjacency() {
-	d := m.d
+	cv := m.cv
 	n := len(m.idx)
-	counts := make([]int, n)
-	forEach := func(visit func(slot, pi int)) {
-		for ni := range d.Nets {
-			net := &d.Nets[ni]
-			if len(net.Pins) < 2 {
+	counts := make([]int32, n)
+	forEach := func(visit func(slot int, s int32)) {
+		for ni := 0; ni < len(cv.NetOff)-1; ni++ {
+			o0, o1 := cv.NetOff[ni], cv.NetOff[ni+1]
+			if o1-o0 < 2 {
 				continue
 			}
-			for _, pi := range net.Pins {
-				ci := d.Pins[pi].Cell
+			for s := o0; s < o1; s++ {
+				ci := cv.PinCell[s]
 				if ci < 0 {
 					continue
 				}
-				if s := m.slot[ci]; s >= 0 {
-					visit(s, pi)
+				if k := m.slot[ci]; k >= 0 {
+					visit(k, s)
 				}
 			}
 		}
 	}
-	forEach(func(s, pi int) { counts[s]++ })
-	m.adjOff = make([]int, n+1)
+	forEach(func(k int, s int32) { counts[k]++ })
+	m.adjOff = make([]int32, n+1)
 	for k, c := range counts {
 		m.adjOff[k+1] = m.adjOff[k] + c
 	}
-	m.adjPin = make([]int, m.adjOff[n])
-	cursor := append([]int(nil), m.adjOff[:n]...)
-	forEach(func(s, pi int) {
-		m.adjPin[cursor[s]] = pi
-		cursor[s]++
+	m.adjSlot = make([]int32, m.adjOff[n])
+	cursor := append([]int32(nil), m.adjOff[:n]...)
+	forEach(func(k int, s int32) {
+		m.adjSlot[cursor[k]] = s
+		cursor[k]++
 	})
 }
 
@@ -136,8 +245,8 @@ func (m *Model) grow(workers int) {
 		m.scr = append(m.scr, &netScratch{
 			xs: make([]float64, m.maxDeg),
 			ys: make([]float64, m.maxDeg),
-			gx: make([]float64, m.maxDeg),
-			gy: make([]float64, m.maxDeg),
+			ep: make([]float64, m.maxDeg),
+			em: make([]float64, m.maxDeg),
 		})
 	}
 }
@@ -147,91 +256,192 @@ func (m *Model) Cost() float64 { return m.eval(nil) }
 
 // CostAndGradient returns the smooth wirelength and writes its gradient
 // for the model's cells into grad, laid out {x_1..x_n, y_1..y_n}.
-// grad is zeroed first.
+// grad is not read: eval assigns every element unconditionally (the
+// scatter phase owns the full vector), so no zeroing pass is needed.
 func (m *Model) CostAndGradient(grad []float64) float64 {
 	if len(grad) != 2*len(m.idx) {
 		panic("wirelength: gradient buffer size mismatch")
 	}
-	for i := range grad {
-		grad[i] = 0
-	}
 	return m.eval(grad)
 }
 
-// eval runs the three-phase parallel pipeline. Phase 1 shards the nets:
-// each worker evaluates its nets' smooth spans into m.costs and (when
-// grad != nil) each pin's weighted derivative into m.pinGX/m.pinGY —
-// every write is owned by exactly one worker, so there is no shared
-// accumulator. Phase 2 folds the per-net costs in net order on the
-// calling goroutine. Phase 3 shards the model cells: each cell's
-// gradient is the left-to-right fold of its adjacency contributions.
-// Both reductions use a fixed order and association independent of the
-// worker count, so every Workers setting produces bitwise-identical
-// results — including Workers=1, which reproduces the original serial
-// loop exactly.
+// eval runs the three-phase parallel pipeline over the compiled view.
+// Phase 1 shards the fixed pin-balanced net tasks: each worker runs the
+// fused per-net kernel (evalNet), writing its nets' smooth costs into
+// m.costs and (when grad != nil) each CSR pin slot's weighted
+// derivative into m.pinGX/m.pinGY — every write is owned by exactly one
+// worker, so there is no shared accumulator. Phase 2 folds the per-net
+// costs in net order on the calling goroutine. Phase 3 shards the model
+// cells (adjacency-balanced tasks): each cell's gradient is the
+// left-to-right fold of its adjacency contributions, assigned (never
+// accumulated) into grad.
+//
+// Invariant: with grad != nil every element of grad is assigned exactly
+// once per eval, so callers never need to zero it. Both reductions use
+// a fixed order and association independent of the worker count, so
+// every Workers setting produces bitwise-identical results — including
+// Workers=1, which reproduces the original serial loop exactly.
 func (m *Model) eval(grad []float64) float64 {
-	d := m.d
+	if m.ownView {
+		m.cv.SyncGeometry()
+		m.cv.SyncNetWeights()
+	}
 	workers := parallel.Count(m.Workers)
 	m.grow(workers)
+	m.grad = grad
 
-	parallel.For(workers, len(d.Nets), func(wk, lo, hi int) {
-		s := m.scr[wk]
-		for ni := lo; ni < hi; ni++ {
-			net := &d.Nets[ni]
-			deg := len(net.Pins)
-			if deg < 2 {
-				m.costs[ni] = 0
-				continue
-			}
-			w := net.EffWeight()
-			xs, ys := s.xs[:deg], s.ys[:deg]
-			for p, pi := range net.Pins {
-				pos := d.PinPos(pi)
-				xs[p] = pos.X
-				ys[p] = pos.Y
-			}
-			var cost float64
-			if grad == nil {
-				cost = m.axis(xs, nil) + m.axis(ys, nil)
-			} else {
-				gx, gy := s.gx[:deg], s.gy[:deg]
-				cost = m.axis(xs, gx) + m.axis(ys, gy)
-				for p, pi := range net.Pins {
-					m.pinGX[pi] = w * gx[p]
-					m.pinGY[pi] = w * gy[p]
-				}
-			}
-			m.costs[ni] = w * cost
-		}
-	})
+	parallel.For(workers, len(m.netTaskOff)-1, m.netTask)
 
 	total := 0.0
-	for ni := range d.Nets {
-		if len(d.Nets[ni].Pins) >= 2 {
+	cv := m.cv
+	for ni := 0; ni < len(m.costs); ni++ {
+		if cv.NetOff[ni+1]-cv.NetOff[ni] >= 2 {
 			total += m.costs[ni]
 		}
 	}
 
 	if grad != nil {
-		n := len(m.idx)
-		parallel.For(workers, n, func(_, lo, hi int) {
-			for k := lo; k < hi; k++ {
-				var gx, gy float64
-				for _, pi := range m.adjPin[m.adjOff[k]:m.adjOff[k+1]] {
-					gx += m.pinGX[pi]
-					gy += m.pinGY[pi]
-				}
-				grad[k] = gx
-				grad[k+n] = gy
-			}
-		})
+		parallel.For(workers, len(m.cellTaskOff)-1, m.cellTask)
 	}
+	m.grad = nil
 	return total
 }
 
+// evalNet is the fused per-net kernel: one sweep gathers the pin
+// positions from the SoA arrays and tracks min/max per axis, then each
+// axis computes its exponentials ONCE — caching e^+ / e^- in the worker
+// scratch — and derives both the smooth span and, when a gradient is
+// requested, every pin's weighted derivative from the cached values.
+// The arithmetic matches the reference axisWA/axisLSE expressions
+// operation for operation, so results are bitwise-identical to the
+// unfused pointer-based evaluation.
+func (m *Model) evalNet(ni int, s *netScratch) {
+	cv := m.cv
+	o0, o1 := int(cv.NetOff[ni]), int(cv.NetOff[ni+1])
+	deg := o1 - o0
+	if deg < 2 {
+		m.costs[ni] = 0
+		return
+	}
+	w := cv.NetW[ni]
+	pinCell, pinOx, pinOy := cv.PinCell, cv.PinOx, cv.PinOy
+	posX, posY := cv.PosX, cv.PosY
+	xs, ys := s.xs[:deg], s.ys[:deg]
+	x, y := pinOx[o0], pinOy[o0]
+	if ci := pinCell[o0]; ci >= 0 {
+		x += posX[ci]
+		y += posY[ci]
+	}
+	xs[0], ys[0] = x, y
+	xmin, xmax, ymin, ymax := x, x, y, y
+	for p := 1; p < deg; p++ {
+		sl := o0 + p
+		x, y = pinOx[sl], pinOy[sl]
+		if ci := pinCell[sl]; ci >= 0 {
+			x += posX[ci]
+			y += posY[ci]
+		}
+		xs[p], ys[p] = x, y
+		if x > xmax {
+			xmax = x
+		}
+		if x < xmin {
+			xmin = x
+		}
+		if y > ymax {
+			ymax = y
+		}
+		if y < ymin {
+			ymin = y
+		}
+	}
+	var cost float64
+	if m.Kind == LSE {
+		cost = m.fusedLSE(xs, xmin, xmax, s, m.pinGX, o0, w) +
+			m.fusedLSE(ys, ymin, ymax, s, m.pinGY, o0, w)
+	} else {
+		cost = m.fusedWA(xs, xmin, xmax, s, m.pinGX, o0, w) +
+			m.fusedWA(ys, ymin, ymax, s, m.pinGY, o0, w)
+	}
+	m.costs[ni] = w * cost
+}
+
+// fusedWA computes the weighted-average span of Eq. (3) for one axis
+// with the standard max-shift, and when a gradient is requested writes
+// each pin's weighted derivative into gOut[o0+p], reusing the cached
+// exponentials instead of recomputing them.
+func (m *Model) fusedWA(xs []float64, xmin, xmax float64, s *netScratch, gOut []float64, o0 int, w float64) float64 {
+	gamma := m.Gamma
+	var sp, tp, sm, tm float64 // S+, T+, S-, T-
+	if m.grad == nil {
+		for _, x := range xs {
+			ep := math.Exp((x - xmax) / gamma)
+			em := math.Exp((xmin - x) / gamma)
+			sp += ep
+			tp += x * ep
+			sm += em
+			tm += x * em
+		}
+		return tp/sp - tm/sm
+	}
+	ep, em := s.ep[:len(xs)], s.em[:len(xs)]
+	for p, x := range xs {
+		e1 := math.Exp((x - xmax) / gamma)
+		e2 := math.Exp((xmin - x) / gamma)
+		ep[p], em[p] = e1, e2
+		sp += e1
+		tp += x * e1
+		sm += e2
+		tm += x * e2
+	}
+	span := tp/sp - tm/sm
+	// The per-pin divisions tp/gamma, tm/gamma and products sp*sp, sm*sm
+	// are loop-invariant; hoisting them produces the same bits as
+	// recomputing them per pin (each IEEE op is deterministic), so the
+	// result still matches the reference expression exactly.
+	tpg, tmg := tp/gamma, tm/gamma
+	sp2, sm2 := sp*sp, sm*sm
+	for p, x := range xs {
+		// d(T+/S+)/dx = e^{x/g} [ S+ (1 + x/g) - T+/g ] / S+^2
+		dmax := ep[p] * (sp*(1+x/gamma) - tpg) / sp2
+		// d(T-/S-)/dx = e^{-x/g} [ S- (1 - x/g) + T-/g ] / S-^2
+		dmin := em[p] * (sm*(1-x/gamma) + tmg) / sm2
+		gOut[o0+p] = w * (dmax - dmin)
+	}
+	return span
+}
+
+// fusedLSE computes gamma*(log sum exp(x/gamma) + log sum exp(-x/gamma))
+// for one axis with cached exponentials, mirroring fusedWA's structure.
+func (m *Model) fusedLSE(xs []float64, xmin, xmax float64, s *netScratch, gOut []float64, o0 int, w float64) float64 {
+	gamma := m.Gamma
+	var sp, sm float64
+	if m.grad == nil {
+		for _, x := range xs {
+			sp += math.Exp((x - xmax) / gamma)
+			sm += math.Exp((xmin - x) / gamma)
+		}
+		return gamma*(math.Log(sp)+math.Log(sm)) + (xmax - xmin)
+	}
+	ep, em := s.ep[:len(xs)], s.em[:len(xs)]
+	for p, x := range xs {
+		e1 := math.Exp((x - xmax) / gamma)
+		e2 := math.Exp((xmin - x) / gamma)
+		ep[p], em[p] = e1, e2
+		sp += e1
+		sm += e2
+	}
+	cost := gamma*(math.Log(sp)+math.Log(sm)) + (xmax - xmin)
+	for p := range xs {
+		gOut[o0+p] = w * (ep[p]/sp - em[p]/sm)
+	}
+	return cost
+}
+
 // axis computes the one-dimensional smooth span of the coordinates in
-// xs and, when g is non-nil, writes per-pin derivatives into g. It
-// reads only Kind and Gamma and is safe to call from worker goroutines.
+// xs and, when g is non-nil, writes per-pin derivatives into g. It is
+// the unfused REFERENCE implementation the equivalence tests compare
+// the fused kernel against; the hot path no longer calls it.
 func (m *Model) axis(xs []float64, g []float64) float64 {
 	if m.Kind == LSE {
 		return m.axisLSE(xs, g)
@@ -240,7 +450,7 @@ func (m *Model) axis(xs []float64, g []float64) float64 {
 }
 
 // axisWA implements the weighted-average span of Eq. (3) with the
-// standard max-shift for numerical stability.
+// standard max-shift for numerical stability (reference path).
 func (m *Model) axisWA(xs []float64, g []float64) float64 {
 	gamma := m.Gamma
 	xmax, xmin := xs[0], xs[0]
@@ -266,9 +476,7 @@ func (m *Model) axisWA(xs []float64, g []float64) float64 {
 		for p, x := range xs {
 			ep := math.Exp((x - xmax) / gamma)
 			em := math.Exp((xmin - x) / gamma)
-			// d(T+/S+)/dx = e^{x/g} [ S+ (1 + x/g) - T+/g ] / S+^2
 			dmax := ep * (sp*(1+x/gamma) - tp/gamma) / (sp * sp)
-			// d(T-/S-)/dx = e^{-x/g} [ S- (1 - x/g) + T-/g ] / S-^2
 			dmin := em * (sm*(1-x/gamma) + tm/gamma) / (sm * sm)
 			g[p] = dmax - dmin
 		}
@@ -276,7 +484,8 @@ func (m *Model) axisWA(xs []float64, g []float64) float64 {
 	return span
 }
 
-// axisLSE implements gamma*(log sum exp(x/gamma) + log sum exp(-x/gamma)).
+// axisLSE implements gamma*(log sum exp(x/gamma) + log sum exp(-x/gamma))
+// (reference path).
 func (m *Model) axisLSE(xs []float64, g []float64) float64 {
 	gamma := m.Gamma
 	xmax, xmin := xs[0], xs[0]
