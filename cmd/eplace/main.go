@@ -8,6 +8,8 @@
 //	eplace -synth 5000 -macros 10 -density 0.8 -out placed.pl
 //	eplace -aux design.aux -solver cg          # FFTPL mode (CG baseline)
 //	eplace -synth 5000 -trace out.jsonl -status :6060 -bench-out BENCH.json
+//	eplace -synth 5000 -checkpoint-dir ckpt -checkpoint-every 100
+//	eplace -synth 5000 -checkpoint-dir ckpt -resume    # continue after a crash
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"eplace/internal/bookshelf"
+	"eplace/internal/checkpoint"
 	"eplace/internal/congestion"
 	"eplace/internal/core"
 	"eplace/internal/metrics"
@@ -48,6 +51,11 @@ func main() {
 		csvPath   = flag.String("trace-csv", "", "write per-iteration telemetry as CSV to this file")
 		statusAdr = flag.String("status", "", "serve live /status, /samples, expvar and pprof on this address (e.g. :6060)")
 		benchOut  = flag.String("bench-out", "", "write a machine-readable benchmark record (JSON) to this file")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "persist crash-safe flow snapshots into this directory")
+		ckptEvery = flag.Int("checkpoint-every", 0, "also snapshot every N global-placement iterations (0 = stage boundaries only)")
+		resume    = flag.Bool("resume", false, "continue from <checkpoint-dir>/latest.ckpt instead of starting fresh")
+		digests   = flag.Bool("digests", false, "print the per-stage golden determinism digests")
 	)
 	flag.Parse()
 
@@ -122,7 +130,33 @@ func main() {
 	} else if *solver != "nesterov" {
 		fatal("unknown solver %q", *solver)
 	}
-	res, err := core.Place(d, core.FlowOptions{GP: gp, SkipLegalization: *gpOnly})
+	gp.CheckpointEvery = *ckptEvery
+
+	// Checkpointing and resume: the flow snapshots itself at stage
+	// boundaries (plus every -checkpoint-every GP iterations) and can
+	// continue from latest.ckpt with a bitwise-identical result.
+	flow := core.FlowOptions{GP: gp, SkipLegalization: *gpOnly}
+	if *resume && *ckptDir == "" {
+		fatal("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		mgr, err := checkpoint.NewManager(*ckptDir)
+		if err != nil {
+			fatal("checkpoint dir: %v", err)
+		}
+		flow.Checkpoint = mgr
+		if *resume {
+			st, err := mgr.Load()
+			if err != nil {
+				fatal("loading checkpoint: %v", err)
+			}
+			flow.Resume = st
+			if !*quiet {
+				fmt.Printf("resuming      phase %q of %q\n", st.Phase, st.DesignName)
+			}
+		}
+	}
+	res, err := core.Place(d, flow)
 	if err != nil {
 		fatal("placement failed: %v", err)
 	}
@@ -179,6 +213,11 @@ func main() {
 	for _, stage := range res.Stages {
 		fmt.Printf("time %-8s %v\n", stage.Name, stage.Time.Round(1e6))
 	}
+	if *digests {
+		for _, sd := range res.Digests {
+			fmt.Printf("digest %-10s %s (%d iters)\n", sd.Stage, sd.Hex(), sd.Iterations)
+		}
+	}
 
 	if *benchOut != "" {
 		b := telemetry.BenchRecord{
@@ -191,6 +230,7 @@ func main() {
 			Overflow:   rep.Overflow,
 			Legal:      rep.Legal,
 			Iterations: map[string]int{"mGP": res.MGP.Iterations},
+			Digests:    res.Digests,
 		}
 		if res.MixedSize {
 			b.Iterations["cGP"] = res.CGP.Iterations

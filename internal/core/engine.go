@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"eplace/internal/checkpoint"
 	"eplace/internal/density"
 	"eplace/internal/geom"
 	"eplace/internal/grid"
@@ -201,53 +202,77 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 	e := newEngine(d, idx, opt, rec)
 	e.stage = stage
 
-	v0 := d.Positions(idx)
-	e.clamp(v0)
-	tau0 := func() float64 {
-		e.cv.SetPositions(e.idx, v0)
-		e.dm.Refresh(e.idx)
-		return e.dm.Overflow(d.TargetDensity)
-	}()
-	e.updateGamma(tau0)
-	if lambdaInit > 0 {
-		e.lambda = lambdaInit
-	} else if opt.LambdaInit > 0 {
-		e.lambda = opt.LambdaInit
-	} else {
-		e.initLambda(v0)
-	}
-
-	// HPWL of the clamped start, from the view (the structs still hold
-	// the unclamped input until the end-of-stage write-back).
-	hpwl0 := e.cv.HPWL()
-	prevHPWL := hpwl0
-
 	seedStep := 0.1 * math.Min(e.dm.Grid.BinW, e.dm.Grid.BinH)
 
 	var stepNesterov func() (float64, int)
 	var solution func() []float64
 	var opt2 *nesterov.Optimizer
 	var cg *nesterov.CGSolver
-	if opt.Solver == SolverNesterov {
-		opt2 = nesterov.New(v0, e.gradient, e.clamp, seedStep)
+	var hpwl0, prevHPWL float64
+	var best []float64
+	var bestTau float64
+	bestTauIter := 0
+	iterStart := 0
+
+	if rs := opt.ResumeGP; rs != nil && opt.Solver == SolverNesterov {
+		// Resume: every schedule scalar and optimizer vector comes from
+		// the snapshot, and the whole init path (tau0, gamma, lambda
+		// balancing, the optimizer's seeding gradient evaluations) is
+		// skipped — the loop re-enters at iteration rs.Iter with exactly
+		// the state the captured run had there, so the continued
+		// trajectory is bitwise-identical to the uninterrupted one.
+		e.lambda, e.gamma = rs.Lambda, rs.Gamma
+		e.wl.Gamma = e.gamma
+		hpwl0, prevHPWL = rs.HPWL0, rs.PrevHPWL
+		best = append([]float64(nil), rs.Best...)
+		bestTau, bestTauIter = rs.BestTau, rs.BestTauIter
+		iterStart = rs.Iter
+		opt2 = nesterov.Resume(rs.Nesterov, e.gradient, e.clamp, seedStep)
 		opt2.AdaptiveRestart = opt.AdaptiveRestart
 		stepNesterov = func() (float64, int) { return opt2.Step(opt.DisableBkTrk) }
 		solution = func() []float64 { return opt2.U }
 	} else {
-		cg = nesterov.NewCG(v0, e.cost, e.gradient, e.clamp, seedStep*10)
-		// Every objective evaluation costs a full Poisson solve; keep
-		// failed line searches from burning twenty of them.
-		cg.MaxTrials = 10
-		stepNesterov = func() (float64, int) { return cg.Step(), 0 }
-		solution = func() []float64 { return cg.V }
+		v0 := d.Positions(idx)
+		e.clamp(v0)
+		tau0 := func() float64 {
+			e.cv.SetPositions(e.idx, v0)
+			e.dm.Refresh(e.idx)
+			return e.dm.Overflow(d.TargetDensity)
+		}()
+		e.updateGamma(tau0)
+		if lambdaInit > 0 {
+			e.lambda = lambdaInit
+		} else if opt.LambdaInit > 0 {
+			e.lambda = opt.LambdaInit
+		} else {
+			e.initLambda(v0)
+		}
+
+		// HPWL of the clamped start, from the view (the structs still
+		// hold the unclamped input until the end-of-stage write-back).
+		hpwl0 = e.cv.HPWL()
+		prevHPWL = hpwl0
+
+		if opt.Solver == SolverNesterov {
+			opt2 = nesterov.New(v0, e.gradient, e.clamp, seedStep)
+			opt2.AdaptiveRestart = opt.AdaptiveRestart
+			stepNesterov = func() (float64, int) { return opt2.Step(opt.DisableBkTrk) }
+			solution = func() []float64 { return opt2.U }
+		} else {
+			cg = nesterov.NewCG(v0, e.cost, e.gradient, e.clamp, seedStep*10)
+			// Every objective evaluation costs a full Poisson solve; keep
+			// failed line searches from burning twenty of them.
+			cg.MaxTrials = 10
+			stepNesterov = func() (float64, int) { return cg.Step(), 0 }
+			solution = func() []float64 { return cg.V }
+		}
+
+		// Divergence guard: remember the best (lowest-overflow) solution.
+		best = append([]float64(nil), v0...)
+		bestTau = tau0
 	}
 
-	// Divergence guard: remember the best (lowest-overflow) solution.
-	best := append([]float64(nil), v0...)
-	bestTau := tau0
-	bestTauIter := 0
-
-	iter := 0
+	iter := iterStart
 	for ; iter < opt.MaxIters; iter++ {
 		alpha, bt := stepNesterov()
 
@@ -261,6 +286,10 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 			bestTauIter = iter
 			copy(best, u)
 		}
+		// Roll this iteration's exact state into the stage's golden
+		// digest (lambda here is the value the iteration's gradient
+		// used, before the schedule update below).
+		opt.Golden.Absorb(stage, iter, u, hpwl, e.lambda)
 		if opt.Trace != nil || opt.Telemetry.Active() {
 			s := Sample{
 				Stage: stage, Iteration: iter,
@@ -317,6 +346,24 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 		e.lambda *= mu
 		prevHPWL = hpwl
 		e.updateGamma(tau)
+
+		// Crash-safe snapshot of the loop state at this iteration
+		// boundary (everything the next iteration reads), aligned to
+		// absolute iteration numbers so a resumed run checkpoints at the
+		// same points as an uninterrupted one. Nesterov only: the CG
+		// baseline has no capturable recurrence and falls back to
+		// stage-boundary checkpoints.
+		if opt.CheckpointSink != nil && opt.CheckpointEvery > 0 && opt2 != nil &&
+			(iter+1)%opt.CheckpointEvery == 0 {
+			opt.CheckpointSink(&checkpoint.GPState{
+				Stage: stage, Iter: iter + 1,
+				Lambda: e.lambda, Gamma: e.gamma,
+				PrevHPWL: prevHPWL, HPWL0: hpwl0,
+				Best:    append([]float64(nil), best...),
+				BestTau: bestTau, BestTauIter: bestTauIter,
+				Nesterov: opt2.State(),
+			})
+		}
 	}
 
 	// Adopt the best snapshot if we diverged or stagnated past it,

@@ -24,7 +24,20 @@ func fillerDims(d *netlist.Design) (w, h float64) {
 		// Macro-only design: use a small fraction of the region.
 		return d.Region.W() / 100, d.Region.H() / 100
 	}
-	sort.Slice(cells, func(a, b int) bool { return cells[a].a < cells[b].a })
+	// Total order (area, then width, then height): an area-only sort
+	// leaves equal-area cells in unspecified relative order, and when
+	// such a tie straddles the 10%/90% trim boundary the averaged
+	// filler dimensions — and thus every downstream position — would
+	// depend on sort internals.
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].a != cells[b].a {
+			return cells[a].a < cells[b].a
+		}
+		if cells[a].w != cells[b].w {
+			return cells[a].w < cells[b].w
+		}
+		return cells[a].h < cells[b].h
+	})
 	lo, hi := len(cells)/10, len(cells)-len(cells)/10
 	if hi <= lo {
 		lo, hi = 0, len(cells)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"eplace/internal/checkpoint"
 	"eplace/internal/detail"
 	"eplace/internal/legalize"
 	"eplace/internal/netlist"
@@ -38,6 +39,20 @@ type FlowOptions struct {
 	// mentions in Sec. III. Larger halos leave more breathing room
 	// around macros for the standard cells.
 	MacroHalo float64
+
+	// Checkpoint, when non-nil, persists a crash-safe snapshot at every
+	// stage boundary — and, with GP.CheckpointEvery > 0, every N GP
+	// iterations mid-stage — so an interrupted flow can be continued
+	// with Resume instead of restarting from scratch.
+	Checkpoint *checkpoint.Manager
+	// Resume continues a flow from a snapshot previously written via
+	// Checkpoint. The design must be structurally identical (checked by
+	// fingerprint); completed stages are skipped, a mid-stage snapshot
+	// re-enters the GP loop at its captured iteration, and the final
+	// placement is bitwise-identical to the uninterrupted run —
+	// including the per-stage golden digests, whose rolling state is
+	// part of the snapshot.
+	Resume *checkpoint.State
 }
 
 func (o *FlowOptions) defaults() {
@@ -73,6 +88,13 @@ type FlowResult struct {
 	Stages []StageSpan
 	// StageTime indexes Stages by name.
 	StageTime map[string]time.Duration
+
+	// Digests are the per-stage golden-trace hashes (rolling FNV-1a
+	// over every iteration's positions, cost and lambda) in execution
+	// order, ending with the "final" digest over the finished layout.
+	// Two runs of the same flow are bitwise-identical iff these match,
+	// at any worker count; the determinism CI job asserts exactly that.
+	Digests []telemetry.StageDigest
 }
 
 // addStage appends a completed stage to both the ordered list and the
@@ -83,15 +105,88 @@ func (r *FlowResult) addStage(rec *telemetry.Recorder, name string, d time.Durat
 	rec.EmitSpan(name, "", d)
 }
 
+// Flow phases in execution order, used to decide which work a resumed
+// run still has ahead of it.
+const (
+	phMIP = iota
+	phMGP
+	phMLG
+	phCGPFiller
+	phCGP
+	phCDP
+	phDone
+)
+
+// resumePhase maps a checkpoint phase label to the first flow phase
+// still to run and whether the snapshot is mid-stage (carries GPState).
+func resumePhase(phase string) (int, bool, error) {
+	switch phase {
+	case checkpoint.PhasePostMIP:
+		return phMGP, false, nil
+	case checkpoint.PhaseMGP:
+		return phMGP, true, nil
+	case checkpoint.PhasePostMGP:
+		return phMLG, false, nil
+	case checkpoint.PhasePostMLG:
+		return phCGPFiller, false, nil
+	case checkpoint.PhaseCGPFiller:
+		return phCGPFiller, true, nil
+	case checkpoint.PhasePostCGPFiller:
+		return phCGP, false, nil
+	case checkpoint.PhaseCGP:
+		return phCGP, true, nil
+	case checkpoint.PhasePreCDP:
+		return phCDP, false, nil
+	case checkpoint.PhaseDone:
+		return phDone, false, nil
+	default:
+		return 0, false, fmt.Errorf("core: unknown checkpoint phase %q", phase)
+	}
+}
+
+// flowState assembles one full snapshot of the flow at a boundary. The
+// fingerprint is the one computed over the *input* design at flow
+// start, not recomputed here: the flow itself mutates structure the
+// fingerprint covers (cDP builds rows when the design has none), and a
+// resume always validates against a fresh input-shaped design.
+func flowState(d *netlist.Design, fp uint64, phase string, numFillers int, res *FlowResult, golden *telemetry.GoldenTrace) *checkpoint.State {
+	st := &checkpoint.State{
+		Phase:          phase,
+		DesignName:     d.Name,
+		Fingerprint:    fp,
+		MixedSize:      res.MixedSize,
+		MGPIterations:  res.MGP.Iterations,
+		MGPFinalLambda: res.MGP.FinalLambda,
+		Golden:         golden.State(),
+	}
+	st.CapturePositions(d, numFillers)
+	return st
+}
+
 // Place runs the complete ePlace flow on d: quadratic initial placement
 // (mIP), mixed-size global placement (mGP), annealing macro legalization
 // (mLG) and standard-cell re-placement (cGP) when movable macros exist,
 // then legalization plus detail placement (cDP). The design is modified
 // in place; fillers are inserted and removed internally.
+//
+// With opt.Checkpoint set, the flow snapshots itself at every stage
+// boundary (and every GP.CheckpointEvery iterations inside the GP
+// loops); with opt.Resume set, it continues from such a snapshot and
+// produces a final placement bitwise-identical to the uninterrupted
+// run.
 func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 	opt.defaults()
 	res := FlowResult{StageTime: map[string]time.Duration{}}
 	rec := opt.GP.Telemetry
+	// The golden digest harness is always on: the engine absorbs one
+	// hash update per iteration (negligible next to a gradient
+	// evaluation) and the flow gains a determinism fingerprint for
+	// every run.
+	golden := opt.GP.Golden
+	if golden == nil {
+		golden = telemetry.NewGoldenTrace()
+		opt.GP.Golden = golden
+	}
 	// emit forwards one sample to both the legacy Trace and telemetry.
 	emit := func(s Sample) {
 		if opt.GP.Trace != nil {
@@ -105,92 +200,235 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 	movMacros := d.MovableOf(netlist.Macro)
 	res.MixedSize = len(movMacros) > 0
 
+	// --- Resume bookkeeping. ---
+	// The fingerprint is taken before the flow mutates any structure it
+	// covers (row construction in cDP); every snapshot carries this
+	// input-design value.
+	fp := checkpoint.Fingerprint(d)
+	startPh := phMIP
+	midGP := false
+	rs := opt.Resume
+	if rs != nil {
+		if err := rs.Validate(d); err != nil {
+			return res, err
+		}
+		var err error
+		startPh, midGP, err = resumePhase(rs.Phase)
+		if err != nil {
+			return res, err
+		}
+		if midGP && opt.GP.Solver != SolverNesterov {
+			return res, fmt.Errorf("core: mid-stage resume requires the Nesterov solver")
+		}
+		if rs.MixedSize != res.MixedSize {
+			return res, fmt.Errorf("core: snapshot mixed-size=%v but design mixed-size=%v",
+				rs.MixedSize, res.MixedSize)
+		}
+		// Continue the rolling digests so final per-stage hashes match
+		// the uninterrupted run's.
+		golden.SetState(rs.Golden)
+		res.MGP.Iterations = rs.MGPIterations
+		res.MGP.FinalLambda = rs.MGPFinalLambda
+	}
+
+	// fillers is assigned before any GP stage runs; the checkpoint
+	// closures read it at call time.
+	var fillers []int
+
+	// saveBoundary persists one stage-boundary snapshot. A requested
+	// checkpoint that cannot be written is an error, not a silent skip:
+	// the user asked for restartability.
+	saveBoundary := func(phase string) error {
+		if opt.Checkpoint == nil {
+			return nil
+		}
+		return opt.Checkpoint.Save(flowState(d, fp, phase, len(fillers), &res, golden))
+	}
+	// gpSink wraps mid-stage GP snapshots with flow context. Save
+	// errors are carried out of the iteration loop via ckptErr.
+	var ckptErr error
+	gpSink := func(phase string) func(*checkpoint.GPState) {
+		if opt.Checkpoint == nil || opt.GP.CheckpointEvery <= 0 {
+			return nil
+		}
+		return func(gs *checkpoint.GPState) {
+			st := flowState(d, fp, phase, len(fillers), &res, golden)
+			st.GP = gs
+			if err := opt.Checkpoint.Save(st); err != nil && ckptErr == nil {
+				ckptErr = err
+			}
+		}
+	}
+
 	// --- mIP: quadratic wirelength minimization over all movables. ---
-	rec.SetStage("mIP")
-	t0 := time.Now()
-	qp.Place(d, movable, opt.MIP)
-	res.addStage(rec, "mIP", time.Since(t0))
-	if rec.Active() {
-		emit(Sample{Stage: "mIP", HPWL: d.HPWL()})
+	if startPh <= phMIP {
+		rec.SetStage("mIP")
+		t0 := time.Now()
+		qp.Place(d, movable, opt.MIP)
+		golden.Absorb("mIP", 0, d.Positions(movable), d.HPWL(), 0)
+		res.addStage(rec, "mIP", time.Since(t0))
+		if rec.Active() {
+			emit(Sample{Stage: "mIP", HPWL: d.HPWL()})
+		}
+		if err := saveBoundary(checkpoint.PhasePostMIP); err != nil {
+			return res, err
+		}
+	}
+
+	// Fillers exist from mGP through cGP. A resumed run re-derives them
+	// from the same seed (count and initial positions are functions of
+	// design structure only), then overwrites every position the
+	// snapshot captured.
+	if startPh <= phCGP && !opt.GP.NoFillers {
+		fillers = InsertFillers(d, opt.GP.Seed+1)
+	}
+	if rs != nil {
+		if rs.NumFillers > 0 && len(fillers) != rs.NumFillers {
+			return res, fmt.Errorf("core: re-inserted %d fillers, snapshot has %d (design or options changed?)",
+				len(fillers), rs.NumFillers)
+		}
+		if err := rs.RestorePositions(d); err != nil {
+			return res, err
+		}
+	}
+
+	if startPh >= phDone {
+		// The snapshot is of a finished flow: recompute the summary.
+		// Rows may have been flow-built in the original run; rebuild them
+		// the same way so the legality check sees the same geometry.
+		if len(d.Rows) == 0 {
+			if h := stdCellHeight(d); h > 0 {
+				legalize.BuildRows(d, h, 0)
+			}
+		}
+		res.HPWL = d.HPWL()
+		res.Legal = legalize.CheckLegal(d, stdCells) == nil
+		if res.MixedSize && res.Legal {
+			res.Legal = legalize.CheckMacrosLegal(d, movMacros) == nil
+		}
+		res.Digests = golden.Digests()
+		return res, nil
 	}
 
 	// --- mGP: co-place cells, macros and fillers. ---
-	t0 = time.Now()
-	var fillers []int
-	if !opt.GP.NoFillers {
-		fillers = InsertFillers(d, opt.GP.Seed+1)
-	}
 	gpIdx := append(append([]int(nil), movable...), fillers...)
-	if opt.MacroHalo > 0 {
-		inflateMacros(d, movMacros, opt.MacroHalo)
-	}
-	res.MGP = PlaceGlobal(d, gpIdx, opt.GP, "mGP", 0)
-	if opt.MacroHalo > 0 {
-		inflateMacros(d, movMacros, -opt.MacroHalo)
-	}
-	res.addStage(rec, "mGP", time.Since(t0))
-	if res.MGP.Diverged {
-		return res, fmt.Errorf("core: mGP diverged")
+	if startPh <= phMGP {
+		t0 := time.Now()
+		if opt.MacroHalo > 0 {
+			inflateMacros(d, movMacros, opt.MacroHalo)
+		}
+		gpOpt := opt.GP
+		gpOpt.CheckpointSink = gpSink(checkpoint.PhaseMGP)
+		if midGP && startPh == phMGP {
+			gpOpt.ResumeGP = rs.GP
+		}
+		res.MGP = PlaceGlobal(d, gpIdx, gpOpt, "mGP", 0)
+		if opt.MacroHalo > 0 {
+			inflateMacros(d, movMacros, -opt.MacroHalo)
+		}
+		res.addStage(rec, "mGP", time.Since(t0))
+		if ckptErr != nil {
+			return res, ckptErr
+		}
+		if res.MGP.Diverged {
+			return res, fmt.Errorf("core: mGP diverged")
+		}
+		if err := saveBoundary(checkpoint.PhasePostMGP); err != nil {
+			return res, err
+		}
 	}
 
 	if res.MixedSize {
 		// --- mLG: legalize and fix macros (std cells held). ---
-		rec.SetStage("mLG")
-		t0 = time.Now()
-		mlgOpt := opt.MLG
-		if mlgOpt.Seed == 0 {
-			mlgOpt.Seed = opt.GP.Seed + 2
-		}
-		if mlgOpt.Telemetry == nil {
-			mlgOpt.Telemetry = rec
-		}
-		res.MLG = legalize.Macros(d, movMacros, mlgOpt)
-		res.addStage(rec, "mLG", time.Since(t0))
-		if !res.MLG.Legal {
-			return res, fmt.Errorf("core: mLG left macro overlap %v", res.MLG.OmAfter)
+		if startPh <= phMLG {
+			rec.SetStage("mLG")
+			t0 := time.Now()
+			mlgOpt := opt.MLG
+			if mlgOpt.Seed == 0 {
+				mlgOpt.Seed = opt.GP.Seed + 2
+			}
+			if mlgOpt.Telemetry == nil {
+				mlgOpt.Telemetry = rec
+			}
+			res.MLG = legalize.Macros(d, movMacros, mlgOpt)
+			golden.Absorb("mLG", 0, d.Positions(movMacros), d.HPWL(), 0)
+			res.addStage(rec, "mLG", time.Since(t0))
+			if !res.MLG.Legal {
+				return res, fmt.Errorf("core: mLG left macro overlap %v", res.MLG.OmAfter)
+			}
+			if err := saveBoundary(checkpoint.PhasePostMLG); err != nil {
+				return res, err
+			}
 		}
 
 		// --- cGP: filler-only placement, then free the std cells. ---
-		t0 = time.Now()
-		if !opt.GP.DisableFillerPhase && len(fillers) > 0 {
-			// Standard cells are held in place during the filler-only
-			// iterations; they must contribute charge as fixed objects or
-			// the fillers would spread as if the cells did not exist.
-			for _, ci := range stdCells {
-				d.Cells[ci].Fixed = true
+		t0 := time.Now()
+		if startPh <= phCGPFiller {
+			if !opt.GP.DisableFillerPhase && len(fillers) > 0 {
+				// Standard cells are held in place during the filler-only
+				// iterations; they must contribute charge as fixed objects or
+				// the fillers would spread as if the cells did not exist.
+				for _, ci := range stdCells {
+					d.Cells[ci].Fixed = true
+				}
+				fOpt := opt.GP
+				fOpt.MaxIters = opt.CGPFillerIters
+				fOpt.MinIters = opt.CGPFillerIters
+				fOpt.TargetOverflow = 1e-9
+				fOpt.Trace = opt.GP.Trace
+				fOpt.CheckpointSink = gpSink(checkpoint.PhaseCGPFiller)
+				if midGP && startPh == phCGPFiller {
+					fOpt.ResumeGP = rs.GP
+				}
+				PlaceGlobal(d, fillers, fOpt, "cGP-filler", 1)
+				for _, ci := range stdCells {
+					d.Cells[ci].Fixed = false
+				}
+				if ckptErr != nil {
+					return res, ckptErr
+				}
 			}
-			fOpt := opt.GP
-			fOpt.MaxIters = opt.CGPFillerIters
-			fOpt.MinIters = opt.CGPFillerIters
-			fOpt.TargetOverflow = 1e-9
-			fOpt.Trace = opt.GP.Trace
-			PlaceGlobal(d, fillers, fOpt, "cGP-filler", 1)
-			for _, ci := range stdCells {
-				d.Cells[ci].Fixed = false
+			if err := saveBoundary(checkpoint.PhasePostCGPFiller); err != nil {
+				return res, err
 			}
 		}
-		// lambda_cGP = lambda_mGP_last * 1.1^-m, m = mGP iters / 10.
-		m := float64(res.MGP.Iterations) / 10
-		lambdaInit := res.MGP.FinalLambda * math.Pow(1.1, -m)
-		cgpIdx := append(append([]int(nil), stdCells...), fillers...)
-		res.CGP = PlaceGlobal(d, cgpIdx, opt.GP, "cGP", lambdaInit)
-		res.addStage(rec, "cGP", time.Since(t0))
-		if res.CGP.Diverged {
-			return res, fmt.Errorf("core: cGP diverged")
+		if startPh <= phCGP {
+			// lambda_cGP = lambda_mGP_last * 1.1^-m, m = mGP iters / 10.
+			m := float64(res.MGP.Iterations) / 10
+			lambdaInit := res.MGP.FinalLambda * math.Pow(1.1, -m)
+			cgpIdx := append(append([]int(nil), stdCells...), fillers...)
+			gpOpt := opt.GP
+			gpOpt.CheckpointSink = gpSink(checkpoint.PhaseCGP)
+			if midGP && startPh == phCGP {
+				gpOpt.ResumeGP = rs.GP
+			}
+			res.CGP = PlaceGlobal(d, cgpIdx, gpOpt, "cGP", lambdaInit)
+			res.addStage(rec, "cGP", time.Since(t0))
+			if ckptErr != nil {
+				return res, ckptErr
+			}
+			if res.CGP.Diverged {
+				return res, fmt.Errorf("core: cGP diverged")
+			}
 		}
 	}
 
 	// Fillers are placement aids only.
 	d.RemoveFillers()
+	fillers = nil
 
 	if opt.SkipLegalization {
 		res.HPWL = d.HPWL()
+		res.Digests = golden.Digests()
 		return res, nil
+	}
+	if err := saveBoundary(checkpoint.PhasePreCDP); err != nil {
+		return res, err
 	}
 
 	// --- cDP: row legalization + discrete refinement. ---
 	rec.SetStage("cDP")
-	t0 = time.Now()
+	t0 := time.Now()
 	if len(d.Rows) == 0 {
 		h := stdCellHeight(d)
 		if h <= 0 {
@@ -208,6 +446,7 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 		if dOpt.Telemetry == nil {
 			dOpt.Telemetry = rec
 		}
+		dOpt.Golden = golden
 		tDP := time.Now()
 		var err error
 		res.DP, err = detail.Place(d, stdCells, dOpt)
@@ -223,6 +462,12 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 	if res.MixedSize && res.Legal {
 		res.Legal = legalize.CheckMacrosLegal(d, movMacros) == nil
 	}
+	// The headline digest: the finished layout over every movable.
+	golden.Absorb("final", 0, d.Positions(movable), res.HPWL, 0)
+	res.Digests = golden.Digests()
+	if err := saveBoundary(checkpoint.PhaseDone); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -237,6 +482,9 @@ func inflateMacros(d *netlist.Design, macros []int, halo float64) {
 }
 
 // stdCellHeight returns the dominant movable standard-cell height.
+// Ties break toward the smaller height so the choice never depends on
+// map iteration order (determinism contract: row construction feeds
+// the final placement).
 func stdCellHeight(d *netlist.Design) float64 {
 	counts := map[float64]int{}
 	for i := range d.Cells {
@@ -247,7 +495,7 @@ func stdCellHeight(d *netlist.Design) float64 {
 	}
 	bestH, bestN := 0.0, 0
 	for h, n := range counts {
-		if n > bestN {
+		if n > bestN || (n == bestN && (bestN == 0 || h < bestH)) {
 			bestH, bestN = h, n
 		}
 	}

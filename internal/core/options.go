@@ -10,6 +10,7 @@ import (
 	"io"
 	"time"
 
+	"eplace/internal/checkpoint"
 	"eplace/internal/telemetry"
 )
 
@@ -76,6 +77,27 @@ type Options struct {
 	// sinks, live status endpoint, benchmark reports). nil disables
 	// recording at zero cost; results are bitwise-identical either way.
 	Telemetry *telemetry.Recorder
+
+	// Golden, when non-nil, absorbs every iteration's state (positions,
+	// HPWL, lambda) into the per-stage rolling determinism digest.
+	// Place installs one automatically; recording never influences
+	// placement results.
+	Golden *telemetry.GoldenTrace
+
+	// CheckpointEvery > 0 makes the GP loop capture its in-flight state
+	// every N iterations and hand it to CheckpointSink (Nesterov solver
+	// only; the CG baseline checkpoints at stage boundaries only).
+	CheckpointEvery int
+	// CheckpointSink receives mid-stage GP snapshots; Place installs a
+	// sink that wraps them with flow context and persists them via the
+	// FlowOptions.Checkpoint manager. Called synchronously from the
+	// iteration loop.
+	CheckpointSink func(*checkpoint.GPState)
+	// ResumeGP, when non-nil, re-enters the GP loop at the snapshot's
+	// iteration instead of initializing gamma/lambda/optimizer from
+	// scratch; the continued trajectory is bitwise-identical to the
+	// uninterrupted run. Requires the Nesterov solver.
+	ResumeGP *checkpoint.GPState
 }
 
 func (o *Options) defaults() {

@@ -35,6 +35,9 @@ type Options struct {
 	// Telemetry, when non-nil, receives one Sample per improvement pass
 	// (stage "cDP") plus swap/reorder/relocate/ISM counters.
 	Telemetry *telemetry.Recorder
+	// Golden, when non-nil, absorbs every pass's cell positions and
+	// HPWL into the "cDP" determinism digest (see telemetry.GoldenTrace).
+	Golden *telemetry.GoldenTrace
 }
 
 func (o *Options) defaults() {
@@ -95,6 +98,9 @@ func Place(d *netlist.Design, cells []int, opt Options) (Result, error) {
 			improved += p.ismPass(cells, &res)
 		}
 		improved += p.relocatePass(&res)
+		if opt.Golden != nil {
+			opt.Golden.Absorb("cDP", pass, d.Positions(cells), d.HPWL(), 0)
+		}
 		if opt.Telemetry.Active() {
 			opt.Telemetry.Sample(telemetry.Sample{
 				Stage: "cDP", Iteration: pass, HPWL: d.HPWL(),
@@ -119,7 +125,9 @@ func (p *placer) buildSegments(cells []int) error {
 		return fmt.Errorf("detail: design has no rows")
 	}
 	free := legalize.FreeSegments(d)
-	// Row lookup by bottom y.
+	// Row lookup by bottom y. Determinism contract: byY is used for
+	// point lookups only, never range-iterated, so map order is
+	// irrelevant (keys are distinct row baselines, so no overwrites).
 	byY := map[float64]int{}
 	for ri, r := range d.Rows {
 		byY[round6(r.Y)] = ri
@@ -158,7 +166,12 @@ func (p *placer) buildSegments(cells []int) error {
 	}
 	for _, s := range p.segs {
 		sort.Slice(s.cells, func(a, b int) bool {
-			return d.Cells[s.cells[a]].X < d.Cells[s.cells[b]].X
+			if d.Cells[s.cells[a]].X != d.Cells[s.cells[b]].X {
+				return d.Cells[s.cells[a]].X < d.Cells[s.cells[b]].X
+			}
+			// Equal abutting x (zero-width gaps): fall back to cell
+			// index so the initial segment order is a total order.
+			return s.cells[a] < s.cells[b]
 		})
 	}
 	return nil
@@ -179,7 +192,9 @@ func (p *placer) gap(s *segCells, k int) (lo, hi float64) {
 	return lo, hi
 }
 
-// netsOf returns the distinct nets touching the given cells.
+// netsOf returns the distinct nets touching the given cells, in first-
+// encounter (pin) order. Determinism contract: seen is a membership
+// test only; the output order comes from the deterministic pin lists.
 func (p *placer) netsOf(cells ...int) []int {
 	seen := map[int]bool{}
 	var out []int

@@ -21,12 +21,25 @@ func (p *placer) ismPass(cells []int, res *Result) int {
 		}
 		byWidth[d.Cells[ci].W] = append(byWidth[d.Cells[ci].W], ci)
 	}
+	// Determinism contract: groups are processed in ascending width
+	// order, never in Go's randomized map order. Each group's matching
+	// moves cells, which changes the HPWL every later group optimizes
+	// against — so group order is result-affecting and must be fixed
+	// (this was the last source of run-to-run flutter in the flow).
+	widths := make([]float64, 0, len(byWidth))
+	for w := range byWidth {
+		widths = append(widths, w)
+	}
+	sort.Float64s(widths)
 	improved := 0
-	for _, group := range byWidth {
+	for _, w := range widths {
+		group := byWidth[w]
 		if len(group) < 2 {
 			continue
 		}
-		// Deterministic processing order: by x position.
+		// Deterministic intra-group order: by x position, cell index as
+		// the total tie-break (bucket append order is irrelevant once
+		// the comparator is a strict total order).
 		sort.Slice(group, func(a, b int) bool {
 			if d.Cells[group[a]].X != d.Cells[group[b]].X {
 				return d.Cells[group[a]].X < d.Cells[group[b]].X
@@ -56,7 +69,9 @@ func (p *placer) ismPass(cells []int, res *Result) int {
 	return improved
 }
 
-// independentSubset greedily picks cells sharing no nets.
+// independentSubset greedily picks cells sharing no nets. Determinism
+// contract: used is membership-only; the greedy scan follows the
+// caller's (sorted) candidate order.
 func independentSubset(p *placer, candidates []int, maxSize int) []int {
 	if maxSize <= 0 {
 		maxSize = 6
@@ -120,18 +135,21 @@ func (p *placer) solveISM(set []int) bool {
 	if total >= base-1e-9 {
 		return false
 	}
-	// Apply: move cells and swap their slot bookkeeping. Because slots
-	// are exactly the set's old positions, segments and ordering update
-	// by re-sorting the affected segment lists.
-	touched := map[int]bool{}
-	oldSeg := map[float64]int{} // slot x -> original segment (by position)
+	// Apply: move cells and swap their slot bookkeeping. Slot j is
+	// exactly cell set[j]'s old position, so the segment a slot belongs
+	// to is indexed directly by slot number — no position-keyed lookup.
+	// (The previous composite float key x+1e7*y silently collided for
+	// coordinates beyond the scale factor or with fractional parts,
+	// corrupting segment bookkeeping on large designs.)
+	origSeg := make([]int, n) // slot index -> segment that owns it
 	for k, ci := range set {
-		oldSeg[slots[k].x+1e7*slots[k].y] = p.segOf[ci]
+		origSeg[k] = p.segOf[ci]
 	}
+	touched := map[int]bool{}
 	for i, j := range assign {
 		ci := set[i]
 		d.Cells[ci].X, d.Cells[ci].Y = slots[j].x, slots[j].y
-		newSeg := oldSeg[slots[j].x+1e7*slots[j].y]
+		newSeg := origSeg[j]
 		if p.segOf[ci] != newSeg {
 			// Remove from old segment list, add to the new one.
 			old := p.segs[p.segOf[ci]]
@@ -142,10 +160,22 @@ func (p *placer) solveISM(set []int) bool {
 		}
 		touched[p.segOf[ci]] = true
 	}
+	// Determinism contract: the per-segment re-sorts are independent,
+	// but iterate touched segments in sorted order anyway (and break
+	// equal-x ties by cell index) so the repair step has exactly one
+	// possible outcome.
+	touchedIdx := make([]int, 0, len(touched))
 	for si := range touched {
+		touchedIdx = append(touchedIdx, si)
+	}
+	sort.Ints(touchedIdx)
+	for _, si := range touchedIdx {
 		s := p.segs[si]
 		sort.Slice(s.cells, func(a, b int) bool {
-			return d.Cells[s.cells[a]].X < d.Cells[s.cells[b]].X
+			if d.Cells[s.cells[a]].X != d.Cells[s.cells[b]].X {
+				return d.Cells[s.cells[a]].X < d.Cells[s.cells[b]].X
+			}
+			return s.cells[a] < s.cells[b]
 		})
 	}
 	return true

@@ -102,6 +102,8 @@ func newMLGState(d *netlist.Design, macros []int, gridM int) *mlgState {
 	}
 	s.macroNets = make([][]int, len(macros))
 	for k, mi := range macros {
+		// Determinism contract: seen is membership-only; macroNets[k]
+		// is built in the macro's deterministic pin order.
 		seen := map[int]bool{}
 		for _, pi := range d.Cells[mi].Pins {
 			ni := d.Pins[pi].Net

@@ -92,6 +92,8 @@ func CheckLegal(d *netlist.Design, cells []int) error {
 	if len(d.Rows) == 0 {
 		return fmt.Errorf("legalize: design has no rows")
 	}
+	// Determinism contract: rowAt is a membership set queried per cell,
+	// never range-iterated; map order cannot affect the verdict.
 	rowAt := make(map[float64]bool, len(d.Rows))
 	for _, r := range d.Rows {
 		rowAt[round6(r.Y)] = true

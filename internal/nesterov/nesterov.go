@@ -99,6 +99,64 @@ func New(v0 []float64, g GradFunc, clamp ClampFunc, seedStep float64) *Optimizer
 	return o
 }
 
+// State is the complete serializable iteration state of an Optimizer:
+// everything Step reads that is not re-derivable from the objective
+// callbacks. Restoring a State into Resume and stepping produces a
+// trajectory bitwise-identical to continuing the original optimizer —
+// the contract the checkpoint/restart subsystem is built on.
+type State struct {
+	// U, V are the two concurrently updated solutions u_k and v_k;
+	// VPrev is v_{k-1}; GradV and GradPrev are the preconditioned
+	// gradients at V and VPrev (the Lipschitz prediction inputs).
+	U, V, VPrev, GradV, GradPrev []float64
+	// A is the momentum coefficient a_k.
+	A float64
+	// Steps, Backtracks and Restarts are the cumulative counters.
+	Steps, Backtracks, Restarts int
+}
+
+// State deep-copies the optimizer's iteration state.
+func (o *Optimizer) State() State {
+	return State{
+		U:        append([]float64(nil), o.U...),
+		V:        append([]float64(nil), o.V...),
+		VPrev:    append([]float64(nil), o.vPrev...),
+		GradV:    append([]float64(nil), o.GradV...),
+		GradPrev: append([]float64(nil), o.gradPrev...),
+		A:        o.a,
+		Steps:    o.steps, Backtracks: o.backtracks, Restarts: o.restarts,
+	}
+}
+
+// Resume reconstructs an optimizer from a captured State without the
+// seeding gradient evaluations New performs: the state already holds
+// both (solution, gradient) pairs of the Lipschitz recurrence, so the
+// next Step continues exactly where the captured run left off.
+// seedStep must match the value passed to New (it fixes MaxStep).
+func Resume(s State, g GradFunc, clamp ClampFunc, seedStep float64) *Optimizer {
+	n := len(s.U)
+	o := &Optimizer{
+		Epsilon:      0.95,
+		MaxBacktrack: 10,
+		MaxStep:      1e9 * seedStep,
+		grad:         g,
+		clamp:        clamp,
+		U:            append([]float64(nil), s.U...),
+		V:            append([]float64(nil), s.V...),
+		GradV:        append([]float64(nil), s.GradV...),
+		vPrev:        append([]float64(nil), s.VPrev...),
+		gradPrev:     append([]float64(nil), s.GradPrev...),
+		uNext:        make([]float64, n),
+		vNext:        make([]float64, n),
+		gradNext:     make([]float64, n),
+		a:            s.A,
+		steps:        s.Steps,
+		backtracks:   s.Backtracks,
+		restarts:     s.Restarts,
+	}
+	return o
+}
+
 // Steps returns the number of Step calls so far.
 func (o *Optimizer) Steps() int { return o.steps }
 

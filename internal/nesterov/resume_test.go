@@ -1,0 +1,69 @@
+package nesterov
+
+import (
+	"math"
+	"testing"
+)
+
+// rosenGrad is a nonconvex-ish test gradient (2D Rosenbrock), enough
+// structure to exercise backtracking and momentum.
+func rosenGrad(v, g []float64) {
+	x, y := v[0], v[1]
+	g[0] = -2*(1-x) - 400*x*(y-x*x)
+	g[1] = 200 * (y - x*x)
+}
+
+// TestResumeBitwiseEquivalent checks the State/Resume contract: a run
+// interrupted at step k and resumed must produce a trajectory
+// bitwise-identical to the uninterrupted run, including counters.
+func TestResumeBitwiseEquivalent(t *testing.T) {
+	for _, restart := range []bool{false, true} {
+		v0 := []float64{-1.2, 1}
+		ref := New(v0, rosenGrad, nil, 1e-3)
+		ref.AdaptiveRestart = restart
+
+		const split, total = 7, 30
+		other := New(v0, rosenGrad, nil, 1e-3)
+		other.AdaptiveRestart = restart
+		for k := 0; k < split; k++ {
+			ref.Step(false)
+			other.Step(false)
+		}
+		res := Resume(other.State(), rosenGrad, nil, 1e-3)
+		res.AdaptiveRestart = restart
+
+		for k := split; k < total; k++ {
+			a1, b1 := ref.Step(false)
+			a2, b2 := res.Step(false)
+			if a1 != a2 || b1 != b2 {
+				t.Fatalf("restart=%v step %d: (alpha,bt) = (%v,%d) vs (%v,%d)",
+					restart, k, a1, b1, a2, b2)
+			}
+			for i := range ref.U {
+				if math.Float64bits(ref.U[i]) != math.Float64bits(res.U[i]) ||
+					math.Float64bits(ref.V[i]) != math.Float64bits(res.V[i]) {
+					t.Fatalf("restart=%v step %d: solutions diverged at %d: %v vs %v",
+						restart, k, i, ref.U[i], res.U[i])
+				}
+			}
+		}
+		if ref.Steps() != res.Steps() || ref.Backtracks() != res.Backtracks() ||
+			ref.Restarts() != res.Restarts() {
+			t.Fatalf("restart=%v: counters diverged: (%d,%d,%d) vs (%d,%d,%d)",
+				restart, ref.Steps(), ref.Backtracks(), ref.Restarts(),
+				res.Steps(), res.Backtracks(), res.Restarts())
+		}
+	}
+}
+
+// TestStateIsDeepCopy verifies State does not alias live buffers.
+func TestStateIsDeepCopy(t *testing.T) {
+	o := New([]float64{1, 2}, rosenGrad, nil, 1e-3)
+	s := o.State()
+	u0 := s.U[0]
+	o.Step(false)
+	o.Step(false)
+	if s.U[0] != u0 {
+		t.Error("State aliases the optimizer's U buffer")
+	}
+}

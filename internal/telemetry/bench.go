@@ -36,6 +36,11 @@ type BenchRecord struct {
 	// Kernels maps "stage/kernel" span paths to aggregate seconds
 	// (e.g. "mGP/density"), the Fig. 7 gradient breakdown.
 	Kernels map[string]float64 `json:"kernels,omitempty"`
+	// Digests lists the per-stage golden-trace hashes (GoldenTrace) in
+	// execution order: two runs of the same benchmark are
+	// bitwise-identical iff these match, so committed reports double as
+	// determinism fixtures.
+	Digests []StageDigest `json:"digests,omitempty"`
 }
 
 // KernelsFrom fills the record's Kernels map from a recorder's span

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// TestGoldenMatchesStdlibFNV pins the digest definition to the stdlib
+// FNV-1a implementation fed the documented byte stream.
+func TestGoldenMatchesStdlibFNV(t *testing.T) {
+	g := NewGoldenTrace()
+	pos := []float64{1.5, -2.25, 3.75}
+	g.Absorb("mGP", 0, pos, 10.5, 0.25)
+	g.Absorb("mGP", 1, pos, 11.5, 0.5)
+
+	ref := fnv.New64a()
+	feed := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		ref.Write(b[:])
+	}
+	absorb := func(iter uint64, cost, lambda float64) {
+		feed(iter)
+		for _, p := range pos {
+			feed(math.Float64bits(p))
+		}
+		feed(math.Float64bits(cost))
+		feed(math.Float64bits(lambda))
+	}
+	absorb(0, 10.5, 0.25)
+	absorb(1, 11.5, 0.5)
+
+	ds := g.Digests()
+	if len(ds) != 1 || ds[0].Stage != "mGP" || ds[0].Iterations != 2 {
+		t.Fatalf("digests = %+v", ds)
+	}
+	if ds[0].Digest != ref.Sum64() {
+		t.Errorf("digest %016x != stdlib FNV-1a %016x", ds[0].Digest, ref.Sum64())
+	}
+}
+
+func TestGoldenDeterministicAndSensitive(t *testing.T) {
+	run := func(perturb bool) []StageDigest {
+		g := NewGoldenTrace()
+		g.Absorb("mIP", 0, []float64{1, 2, 3}, 6, 0)
+		third := 3.0
+		if perturb {
+			third = math.Nextafter(3, 4) // one ULP
+		}
+		g.Absorb("mGP", 0, []float64{1, 2, third}, 6, 1)
+		g.Absorb("mGP", 1, []float64{4, 5, 6}, 15, 1.1)
+		return g.Digests()
+	}
+	a, b := run(false), run(false)
+	if ok, diff := DigestsEqual(a, b); !ok {
+		t.Fatalf("identical input, digests differ: %s", diff)
+	}
+	c := run(true) // a one-ULP change must flip the mGP digest
+	if ok, _ := DigestsEqual(a, c); ok {
+		t.Fatal("perturbed trace produced identical digests")
+	}
+	if a[0].Digest != c[0].Digest {
+		t.Error("perturbation in mGP changed the mIP digest")
+	}
+}
+
+func TestGoldenStateRoundTrip(t *testing.T) {
+	g := NewGoldenTrace()
+	g.Absorb("mGP", 0, []float64{1, 2}, 3, 0.5)
+	g.Absorb("mGP", 1, []float64{2, 3}, 5, 0.6)
+	mid := g.State()
+
+	// Continue the original.
+	g.Absorb("mGP", 2, []float64{4, 5}, 9, 0.7)
+	g.Absorb("cGP", 0, []float64{6}, 6, 0.1)
+
+	// Resume a fresh trace from the snapshot and replay the tail.
+	r := NewGoldenTrace()
+	r.SetState(mid)
+	r.Absorb("mGP", 2, []float64{4, 5}, 9, 0.7)
+	r.Absorb("cGP", 0, []float64{6}, 6, 0.1)
+
+	if ok, diff := DigestsEqual(g.Digests(), r.Digests()); !ok {
+		t.Fatalf("resumed trace diverged: %s", diff)
+	}
+}
+
+func TestGoldenNilSafe(t *testing.T) {
+	var g *GoldenTrace
+	g.Absorb("mGP", 0, []float64{1}, 1, 1) // must not panic
+	if g.Digests() != nil {
+		t.Error("nil trace returned digests")
+	}
+	g.SetState(GoldenState{})
+	if s := g.State(); len(s.Stages) != 0 {
+		t.Error("nil trace returned state")
+	}
+}
+
+func TestDigestsEqualReportsDifferences(t *testing.T) {
+	a := []StageDigest{{Stage: "mGP", Iterations: 3, Digest: 1}}
+	b := []StageDigest{{Stage: "mGP", Iterations: 3, Digest: 2}}
+	if ok, diff := DigestsEqual(a, b); ok || diff == "" {
+		t.Error("digest mismatch not reported")
+	}
+	if ok, diff := DigestsEqual(a, nil); ok || diff == "" {
+		t.Error("missing stage not reported")
+	}
+	// Alignment is by stage name, not position.
+	c := []StageDigest{{Stage: "cGP", Digest: 9}, {Stage: "mGP", Iterations: 3, Digest: 1}}
+	d := []StageDigest{{Stage: "mGP", Iterations: 3, Digest: 1}, {Stage: "cGP", Digest: 9}}
+	if ok, diff := DigestsEqual(c, d); !ok {
+		t.Errorf("order-insensitive compare failed: %s", diff)
+	}
+}
