@@ -1,6 +1,7 @@
 // Command eplace runs the full ePlace flow (mIP -> mGP -> mLG -> cGP ->
 // cDP) on a Bookshelf benchmark or a generated synthetic circuit and
-// writes the placed .pl plus a quality report.
+// writes the placed .pl plus a quality report — or, with -serve, runs
+// as a placement job server that schedules many such flows.
 //
 // Usage:
 //
@@ -10,12 +11,23 @@
 //	eplace -synth 5000 -trace out.jsonl -status :6060 -bench-out BENCH.json
 //	eplace -synth 5000 -checkpoint-dir ckpt -checkpoint-every 100
 //	eplace -synth 5000 -checkpoint-dir ckpt -resume    # continue after a crash
+//	eplace -serve :8080 -serve-dir jobs -serve-jobs 2  # placement-as-a-service
+//
+// SIGINT/SIGTERM cancel the flow context: an interrupted run flushes
+// its telemetry sinks and (with -checkpoint-dir) persists a final
+// mid-stage checkpoint before exiting, so -resume continues it with a
+// bitwise-identical result. In -serve mode the same signals drain the
+// HTTP server and checkpoint every running job.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"eplace/internal/bookshelf"
 	"eplace/internal/checkpoint"
@@ -23,6 +35,7 @@ import (
 	"eplace/internal/core"
 	"eplace/internal/metrics"
 	"eplace/internal/netlist"
+	"eplace/internal/server"
 	"eplace/internal/synth"
 	"eplace/internal/telemetry"
 	"eplace/internal/timing"
@@ -30,6 +43,19 @@ import (
 )
 
 func main() {
+	// Trap SIGINT/SIGTERM into context cancellation so every cleanup
+	// below runs as a defer instead of being skipped by os.Exit: sinks
+	// flush, the status server drains, running flows checkpoint. A
+	// second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "eplace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
 	var (
 		auxPath  = flag.String("aux", "", "Bookshelf .aux file to place")
 		synthN   = flag.Int("synth", 0, "generate a synthetic circuit with N standard cells")
@@ -56,8 +82,17 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 0, "also snapshot every N global-placement iterations (0 = stage boundaries only)")
 		resume    = flag.Bool("resume", false, "continue from <checkpoint-dir>/latest.ckpt instead of starting fresh")
 		digests   = flag.Bool("digests", false, "print the per-stage golden determinism digests")
+
+		serveAddr  = flag.String("serve", "", "run as a placement job server on this address (e.g. :8080)")
+		serveDir   = flag.String("serve-dir", "eplace-jobs", "job state root for -serve (checkpoints, traces, results)")
+		serveJobs  = flag.Int("serve-jobs", 2, "concurrent placements for -serve")
+		serveEvery = flag.Int("serve-every", 25, "mid-stage checkpoint cadence (GP iterations) for -serve jobs")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		return serve(ctx, *serveAddr, *serveDir, *serveJobs, *workers, *serveEvery, *quiet)
+	}
 
 	var d *netlist.Design
 	var err error
@@ -65,7 +100,7 @@ func main() {
 	case *auxPath != "":
 		d, err = bookshelf.ReadAux(*auxPath)
 		if err != nil {
-			fatal("reading %s: %v", *auxPath, err)
+			return fmt.Errorf("reading %s: %w", *auxPath, err)
 		}
 	case *synthN > 0:
 		d = synth.Generate(synth.Spec{
@@ -76,30 +111,33 @@ func main() {
 			Seed:             *seed,
 		})
 	default:
-		fmt.Fprintln(os.Stderr, "eplace: need -aux FILE or -synth N")
+		fmt.Fprintln(os.Stderr, "eplace: need -aux FILE, -synth N, or -serve ADDR")
 		flag.Usage()
-		os.Exit(2)
+		return errors.New("no design given")
 	}
 	if err := d.Validate(); err != nil {
-		fatal("invalid design: %v", err)
+		return fmt.Errorf("invalid design: %w", err)
 	}
 	if !*quiet {
 		fmt.Printf("design %s: %s\n", d.Name, d.Stats())
 	}
 
-	// Telemetry: assemble the sink stack the recorder fans out to.
+	// Telemetry: assemble the sink stack the recorder fans out to. The
+	// recorder is closed by defer so an interrupted or failed run still
+	// flushes every sink (Close is idempotent; the success path also
+	// closes explicitly to surface flush errors).
 	var sinks []telemetry.Sink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fatal("trace file: %v", err)
+			return fmt.Errorf("trace file: %w", err)
 		}
 		sinks = append(sinks, telemetry.NewJSONLSink(f))
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fatal("trace CSV file: %v", err)
+			return fmt.Errorf("trace CSV file: %w", err)
 		}
 		sinks = append(sinks, telemetry.NewCSVSink(f))
 	}
@@ -112,11 +150,12 @@ func main() {
 	if len(sinks) > 0 || *benchOut != "" {
 		rec = telemetry.New(sinks...)
 		rec.SetWorkers(*workers)
+		defer rec.Close()
 	}
 	if *statusAdr != "" {
 		srv, err := telemetry.ServeStatus(*statusAdr, rec, ring)
 		if err != nil {
-			fatal("status server: %v", err)
+			return fmt.Errorf("status server: %w", err)
 		}
 		defer srv.Close()
 		if !*quiet {
@@ -128,7 +167,7 @@ func main() {
 	if *solver == "cg" {
 		gp.Solver = core.SolverCG
 	} else if *solver != "nesterov" {
-		fatal("unknown solver %q", *solver)
+		return fmt.Errorf("unknown solver %q", *solver)
 	}
 	gp.CheckpointEvery = *ckptEvery
 
@@ -137,18 +176,18 @@ func main() {
 	// continue from latest.ckpt with a bitwise-identical result.
 	flow := core.FlowOptions{GP: gp, SkipLegalization: *gpOnly}
 	if *resume && *ckptDir == "" {
-		fatal("-resume requires -checkpoint-dir")
+		return errors.New("-resume requires -checkpoint-dir")
 	}
 	if *ckptDir != "" {
 		mgr, err := checkpoint.NewManager(*ckptDir)
 		if err != nil {
-			fatal("checkpoint dir: %v", err)
+			return fmt.Errorf("checkpoint dir: %w", err)
 		}
 		flow.Checkpoint = mgr
 		if *resume {
 			st, err := mgr.Load()
 			if err != nil {
-				fatal("loading checkpoint: %v", err)
+				return fmt.Errorf("loading checkpoint: %w", err)
 			}
 			flow.Resume = st
 			if !*quiet {
@@ -156,9 +195,15 @@ func main() {
 			}
 		}
 	}
-	res, err := core.Place(d, flow)
+	res, err := core.PlaceContext(ctx, d, flow)
+	if errors.Is(err, core.ErrCanceled) {
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "eplace: interrupted; final checkpoint saved, continue with -resume\n")
+		}
+		return err
+	}
 	if err != nil {
-		fatal("placement failed: %v", err)
+		return fmt.Errorf("placement failed: %w", err)
 	}
 
 	// Optional timing-driven passes (Sec. VIII extension): analyze,
@@ -171,7 +216,7 @@ func main() {
 			tg.TimingWeights(3)
 			res, err = core.Place(d, core.FlowOptions{GP: gp, SkipLegalization: *gpOnly})
 			if err != nil {
-				fatal("timing-driven pass %d failed: %v", pass+1, err)
+				return fmt.Errorf("timing-driven pass %d failed: %w", pass+1, err)
 			}
 			tg.Analyze()
 			fmt.Printf("timing        critical path %.4g after pass %d\n", tg.WorstArrival, pass+1)
@@ -189,7 +234,7 @@ func main() {
 			cm.Weights(d, 2)
 			res, err = core.Place(d, core.FlowOptions{GP: gp, SkipLegalization: *gpOnly})
 			if err != nil {
-				fatal("congestion-driven pass %d failed: %v", pass+1, err)
+				return fmt.Errorf("congestion-driven pass %d failed: %w", pass+1, err)
 			}
 			cm = congestion.Compute(d, 0, congestion.Options{})
 			st = cm.Stats()
@@ -246,28 +291,28 @@ func main() {
 		report.Workers = *workers
 		report.Add(b)
 		if err := report.WriteFile(*benchOut); err != nil {
-			fatal("writing %s: %v", *benchOut, err)
+			return fmt.Errorf("writing %s: %w", *benchOut, err)
 		}
 		if !*quiet {
 			fmt.Printf("wrote %s\n", *benchOut)
 		}
 	}
 	if err := rec.Close(); err != nil {
-		fatal("closing telemetry sinks: %v", err)
+		return fmt.Errorf("closing telemetry sinks: %w", err)
 	}
 
 	if *heatmap != "" {
 		if err := os.MkdirAll(*heatmap, 0o755); err != nil {
-			fatal("heatmap dir: %v", err)
+			return fmt.Errorf("heatmap dir: %w", err)
 		}
 		m := 128
 		layout := viz.RasterizeLayout(d, m)
 		if err := viz.SavePGM(*heatmap+"/layout.pgm", layout, m); err != nil {
-			fatal("heatmap: %v", err)
+			return fmt.Errorf("heatmap: %w", err)
 		}
 		cm := congestion.Compute(d, m, congestion.Options{})
 		if err := viz.SavePGM(*heatmap+"/congestion.pgm", cm.Demand, m); err != nil {
-			fatal("heatmap: %v", err)
+			return fmt.Errorf("heatmap: %w", err)
 		}
 		if !*quiet {
 			fmt.Printf("wrote %s/layout.pgm and congestion.pgm\n", *heatmap)
@@ -276,15 +321,45 @@ func main() {
 
 	if *outPath != "" {
 		if err := bookshelf.WritePL(d, *outPath); err != nil {
-			fatal("writing %s: %v", *outPath, err)
+			return fmt.Errorf("writing %s: %w", *outPath, err)
 		}
 		if !*quiet {
 			fmt.Printf("wrote %s\n", *outPath)
 		}
 	}
+	return nil
 }
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "eplace: "+format+"\n", args...)
-	os.Exit(1)
+// serve runs the placement job server until the context is canceled
+// (SIGINT/SIGTERM), then drains HTTP and checkpoints every running job
+// before returning.
+func serve(ctx context.Context, addr, dir string, jobs, workersPerJob, every int, quiet bool) error {
+	cfg := server.Config{
+		MaxConcurrent:   jobs,
+		WorkersPerJob:   workersPerJob,
+		CheckpointEvery: every,
+		Dir:             dir,
+	}
+	if !quiet {
+		cfg.Log = os.Stderr
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	h, err := server.ListenAndServe(addr, s)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("serving placement jobs on http://%s/jobs (state in %s)\n", h.Addr(), dir)
+	}
+	<-ctx.Done()
+	if !quiet {
+		fmt.Println("shutting down: draining HTTP, checkpointing running jobs")
+	}
+	if err := h.Close(); err != nil {
+		return err
+	}
+	return s.Close()
 }

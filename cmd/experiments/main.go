@@ -11,6 +11,7 @@
 //	experiments -exp ablate-bktrk|ablate-precond|ablate-filler
 //	experiments -exp linesearch|rotation
 //	experiments -exp bench -bench-out BENCH_eplace.json
+//	experiments -exp service -jobs 200 -service-out BENCH_service.json
 //	experiments -exp all -scale 0.5         # everything, half-size circuits
 package main
 
@@ -34,6 +35,10 @@ func main() {
 		workers  = flag.Int("workers", 0, "gradient-kernel workers (0 = all cores)")
 		benchOut = flag.String("bench-out", "BENCH_eplace.json", "output path for -exp bench")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
+
+		jobs       = flag.Int("jobs", 0, "job count for -exp service (0 = default 200)")
+		concurrent = flag.Int("concurrent", 0, "scheduler slots for -exp service (0 = default 4)")
+		serviceOut = flag.String("service-out", "BENCH_service.json", "output path for -exp service")
 	)
 	flag.Parse()
 
@@ -81,6 +86,28 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(out, "wrote %s (%d records)\n", *benchOut, len(report.Records))
+		case "service":
+			rep, err := experiments.ServiceLoad(experiments.ServiceOptions{
+				Jobs:          *jobs,
+				Concurrent:    *concurrent,
+				WorkersPerJob: *workers,
+				Log:           progress,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: service load: %v\n", err)
+				os.Exit(1)
+			}
+			if rep.DigestChecks != rep.DigestMatches {
+				fmt.Fprintf(os.Stderr, "experiments: service determinism violated: %d/%d digest matches\n",
+					rep.DigestMatches, rep.DigestChecks)
+				os.Exit(1)
+			}
+			if err := rep.WriteFile(*serviceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *serviceOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "wrote %s (%d jobs, %.1f done/s, %d preemptions)\n",
+				*serviceOut, rep.Jobs, rep.JobsPerSecond, rep.Preemptions)
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
 			os.Exit(2)

@@ -311,32 +311,55 @@ func ReadFile(path string) (*State, error) {
 // directory.
 const LatestName = "latest.ckpt"
 
+// DefaultKeep is the numbered-history retention bound a Manager applies
+// when Keep is left zero.
+const DefaultKeep = 5
+
 // Manager persists a flow's checkpoints in one directory. Every Save
 // atomically replaces latest.ckpt; with History enabled each snapshot
 // is additionally kept as ckpt-NNNNNN.ckpt, which is how the
 // kill-and-resume tests (and post-mortem debugging) pick an arbitrary
-// mid-run state to resume from.
+// mid-run state to resume from. The numbered history is bounded by
+// Keep — a long mGP run with CheckpointEvery set would otherwise grow
+// it without limit and fill the disk.
 type Manager struct {
 	dir string
-	// History retains every snapshot as a numbered file besides
-	// latest.ckpt.
+	// History retains snapshots as numbered files besides latest.ckpt.
 	History bool
+	// Keep bounds the numbered history: after each successful Save the
+	// oldest numbered snapshots are pruned so at most Keep remain.
+	// 0 selects DefaultKeep; negative retains everything (the
+	// resume-equivalence tests replay arbitrary mid-run states).
+	// latest.ckpt is never touched by pruning.
+	Keep int
 
 	seq int
 }
 
-// NewManager creates (if needed) the checkpoint directory.
+// NewManager creates (if needed) the checkpoint directory. When the
+// directory already holds numbered history (a restarted process
+// resuming a run), numbering continues after the highest existing
+// snapshot instead of silently overwriting it from ckpt-000001 up.
 func NewManager(dir string) (*Manager, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
 	}
-	return &Manager{dir: dir}, nil
+	m := &Manager{dir: dir}
+	if files, err := m.HistoryFiles(); err == nil && len(files) > 0 {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(files[len(files)-1]), "ckpt-%d.ckpt", &n); err == nil {
+			m.seq = n
+		}
+	}
+	return m, nil
 }
 
 // Dir returns the checkpoint directory.
 func (m *Manager) Dir() string { return m.dir }
 
-// Save atomically persists s as the latest checkpoint.
+// Save atomically persists s as the latest checkpoint, then prunes
+// numbered history beyond the Keep bound. Pruning runs only after both
+// writes succeeded, so a failed save never costs an older snapshot.
 func (m *Manager) Save(s *State) error {
 	if m.History {
 		m.seq++
@@ -344,7 +367,36 @@ func (m *Manager) Save(s *State) error {
 			return err
 		}
 	}
-	return WriteFile(filepath.Join(m.dir, LatestName), s)
+	if err := WriteFile(filepath.Join(m.dir, LatestName), s); err != nil {
+		return err
+	}
+	return m.prune()
+}
+
+// prune removes the oldest numbered snapshots beyond the retention
+// bound. latest.ckpt does not match the history glob and is never
+// considered.
+func (m *Manager) prune() error {
+	if !m.History || m.Keep < 0 {
+		return nil
+	}
+	keep := m.Keep
+	if keep == 0 {
+		keep = DefaultKeep
+	}
+	files, err := m.HistoryFiles()
+	if err != nil {
+		return err
+	}
+	if len(files) <= keep {
+		return nil
+	}
+	for _, f := range files[:len(files)-keep] {
+		if err := os.Remove(f); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("checkpoint: pruning %s: %w", f, err)
+		}
+	}
+	return nil
 }
 
 // Load reads the latest checkpoint.

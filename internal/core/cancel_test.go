@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"eplace/internal/checkpoint"
+	"eplace/internal/synth"
+	"eplace/internal/telemetry"
+)
+
+// cancelAtSink cancels a context when a sample for (stage, iter)
+// arrives — a deterministic way to interrupt a flow mid-stage from the
+// outside, exactly as a scheduler preempting a job would.
+type cancelAtSink struct {
+	stage  string
+	iter   int
+	cancel context.CancelFunc
+}
+
+func (s *cancelAtSink) Sample(sm telemetry.Sample) {
+	if sm.Stage == s.stage && sm.Iteration == s.iter {
+		s.cancel()
+	}
+}
+func (s *cancelAtSink) Span(telemetry.SpanRecord) {}
+func (s *cancelAtSink) Close() error              { return nil }
+
+// TestFlowCancelMidMGPResumesBitwise is the cancellation contract
+// end-to-end: cancelling a flow mid-mGP returns ErrCanceled with the
+// partial results, leaves a loadable mid-stage checkpoint even with no
+// CheckpointEvery cadence configured, and resuming that checkpoint
+// finishes with final HPWL and per-stage golden digests
+// bitwise-identical to a never-interrupted run.
+func TestFlowCancelMidMGPResumesBitwise(t *testing.T) {
+	spec := detSpecs()[2] // mixed-size: every flow stage runs
+
+	d0 := synth.Generate(spec)
+	ref, err := Place(d0, detFlowOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel fires during mGP iteration 12, so the loop
+	// stops at the top of iteration 13.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := telemetry.New(&cancelAtSink{stage: "mGP", iter: 12, cancel: cancel})
+	mgr, err := checkpoint.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := detFlowOpts(2)
+	fo.GP.Telemetry = rec
+	fo.Checkpoint = mgr // note: no CheckpointEvery — boundary cadence only
+	d := synth.Generate(spec)
+	res, err := PlaceContext(ctx, d, fo)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled flow returned %v, want ErrCanceled", err)
+	}
+	if !res.MGP.Canceled {
+		t.Error("partial result does not mark mGP canceled")
+	}
+	if res.MGP.Iterations == 0 {
+		t.Error("partial result carries no mGP iterations")
+	}
+
+	st, err := mgr.Load()
+	if err != nil {
+		t.Fatalf("no checkpoint after cancellation: %v", err)
+	}
+	if st.Phase != checkpoint.PhaseMGP {
+		t.Fatalf("final checkpoint phase %q, want mid-mGP", st.Phase)
+	}
+	if st.GP == nil || st.GP.Iter != 13 {
+		t.Fatalf("final checkpoint GP state %+v, want Iter=13", st.GP)
+	}
+
+	// Resume on a fresh design copy, at a different worker count.
+	fo2 := detFlowOpts(7)
+	fo2.Resume = st
+	d2 := synth.Generate(spec)
+	res2, err := Place(d2, fo2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res2.HPWL) != math.Float64bits(ref.HPWL) {
+		t.Errorf("resumed HPWL %v differs from uninterrupted %v", res2.HPWL, ref.HPWL)
+	}
+	if ok, why := telemetry.DigestsEqual(ref.Digests, res2.Digests); !ok {
+		t.Errorf("resumed digests differ from uninterrupted run: %s", why)
+	}
+	if !res2.Legal {
+		t.Error("resumed flow not legal")
+	}
+}
+
+// TestFlowCancelBeforeStart: a context already canceled at entry stops
+// the flow at the first boundary with the typed error.
+func TestFlowCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := synth.Generate(synth.Spec{Name: "cancel-pre", NumCells: 120})
+	_, err := PlaceContext(ctx, d, detFlowOpts(1))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled flow returned %v, want ErrCanceled", err)
+	}
+}
+
+// TestFlowCancelMidCGP: cancellation during the second GP loop leaves a
+// mid-cGP snapshot that also resumes bitwise-identically.
+func TestFlowCancelMidCGP(t *testing.T) {
+	spec := detSpecs()[2]
+	d0 := synth.Generate(spec)
+	ref, err := Place(d0, detFlowOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := telemetry.New(&cancelAtSink{stage: "cGP", iter: 5, cancel: cancel})
+	mgr, err := checkpoint.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := detFlowOpts(1)
+	fo.GP.Telemetry = rec
+	fo.Checkpoint = mgr
+	d := synth.Generate(spec)
+	_, err = PlaceContext(ctx, d, fo)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled flow returned %v, want ErrCanceled", err)
+	}
+	st, err := mgr.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != checkpoint.PhaseCGP {
+		t.Fatalf("checkpoint phase %q, want mid-cGP", st.Phase)
+	}
+
+	fo2 := detFlowOpts(2)
+	fo2.Resume = st
+	d2 := synth.Generate(spec)
+	res2, err := Place(d2, fo2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res2.HPWL) != math.Float64bits(ref.HPWL) {
+		t.Errorf("resumed HPWL %v differs from uninterrupted %v", res2.HPWL, ref.HPWL)
+	}
+	if ok, why := telemetry.DigestsEqual(ref.Digests, res2.Digests); !ok {
+		t.Errorf("resumed digests differ: %s", why)
+	}
+}

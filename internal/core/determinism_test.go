@@ -68,6 +68,7 @@ func runCheckpointedFlow(t *testing.T, dir string, every int) (FlowResult, *chec
 		t.Fatal(err)
 	}
 	mgr.History = true
+	mgr.Keep = -1 // these tests replay arbitrary retained snapshots
 	fo := detFlowOpts(2)
 	fo.GP.CheckpointEvery = every
 	fo.Checkpoint = mgr

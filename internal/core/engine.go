@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -181,6 +182,19 @@ func (e *engine) updateGamma(tau float64) {
 // positions. lambdaInit <= 0 selects automatic balancing. It returns
 // the result; final positions are written back to d.
 func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambdaInit float64) Result {
+	return PlaceGlobalContext(context.Background(), d, idx, opt, stage, lambdaInit)
+}
+
+// PlaceGlobalContext is PlaceGlobal with cooperative cancellation: the
+// context is polled once per iteration (the preemption granularity a
+// job scheduler gets — one gradient evaluation, not one stage). On
+// cancellation the loop stops before the next iteration, hands a final
+// mid-stage snapshot to opt.CheckpointSink when one is installed
+// (regardless of the CheckpointEvery cadence, so the very latest state
+// is resumable), writes the current positions back to d, and returns
+// with Result.Canceled set. A resume from that snapshot continues the
+// trajectory bitwise-identically to the uninterrupted run.
+func PlaceGlobalContext(ctx context.Context, d *netlist.Design, idx []int, opt Options, stage string, lambdaInit float64) Result {
 	opt.defaults()
 	start := time.Now()
 	var res Result
@@ -261,8 +275,11 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 		} else {
 			cg = nesterov.NewCG(v0, e.cost, e.gradient, e.clamp, seedStep*10)
 			// Every objective evaluation costs a full Poisson solve; keep
-			// failed line searches from burning twenty of them.
+			// failed line searches from burning twenty of them — and let a
+			// cancellation abort a search mid-flight instead of paying for
+			// the remaining trials.
 			cg.MaxTrials = 10
+			cg.Interrupt = func() bool { return ctx.Err() != nil }
 			stepNesterov = func() (float64, int) { return cg.Step(), 0 }
 			solution = func() []float64 { return cg.V }
 		}
@@ -274,6 +291,26 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 
 	iter := iterStart
 	for ; iter < opt.MaxIters; iter++ {
+		// Cooperative cancellation, checked once per iteration. The state
+		// here is exactly what the next iteration would read (the same
+		// cut a cadence checkpoint takes at the bottom of the loop), so
+		// the snapshot resumes bitwise-identically. The CG baseline has
+		// no capturable recurrence: it cancels without a mid-stage
+		// snapshot and falls back to the last stage boundary.
+		if ctx.Err() != nil {
+			res.Canceled = true
+			if opt.CheckpointSink != nil && opt2 != nil {
+				opt.CheckpointSink(&checkpoint.GPState{
+					Stage: stage, Iter: iter,
+					Lambda: e.lambda, Gamma: e.gamma,
+					PrevHPWL: prevHPWL, HPWL0: hpwl0,
+					Best:    append([]float64(nil), best...),
+					BestTau: bestTau, BestTauIter: bestTauIter,
+					Nesterov: opt2.State(),
+				})
+			}
+			break
+		}
 		alpha, bt := stepNesterov()
 
 		u := solution()

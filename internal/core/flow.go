@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -163,6 +165,14 @@ func flowState(d *netlist.Design, fp uint64, phase string, numFillers int, res *
 	return st
 }
 
+// ErrCanceled is returned (wrapped, with the phase that was running)
+// when a flow is stopped by context cancellation. The FlowResult
+// returned alongside it carries the partial results of the stages that
+// completed, and — when a checkpoint manager was installed — a final
+// snapshot was persisted first, so the run is resumable from exactly
+// where it stopped. Test with errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("core: placement canceled")
+
 // Place runs the complete ePlace flow on d: quadratic initial placement
 // (mIP), mixed-size global placement (mGP), annealing macro legalization
 // (mLG) and standard-cell re-placement (cGP) when movable macros exist,
@@ -175,6 +185,19 @@ func flowState(d *netlist.Design, fp uint64, phase string, numFillers int, res *
 // produces a final placement bitwise-identical to the uninterrupted
 // run.
 func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
+	return PlaceContext(context.Background(), d, opt)
+}
+
+// PlaceContext is Place with cooperative cancellation, the primitive a
+// job scheduler preempts placements with. The context is checked once
+// per global-placement iteration and at every stage boundary; on
+// cancellation the flow persists a final checkpoint (when a manager is
+// installed — mid-stage inside the GP loops, so nothing past the last
+// finished iteration is lost), stops, and returns the partial results
+// with an error wrapping ErrCanceled. Resuming from that checkpoint
+// finishes with per-stage golden digests bitwise-identical to an
+// uninterrupted run's.
+func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 	opt.defaults()
 	res := FlowResult{StageTime: map[string]time.Duration{}}
 	rec := opt.GP.Telemetry
@@ -244,11 +267,19 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 		}
 		return opt.Checkpoint.Save(flowState(d, fp, phase, len(fillers), &res, golden))
 	}
+	// canceled converts a cancellation observed at phase into the typed
+	// flow error (partial results travel in the FlowResult).
+	canceled := func(phase string) error {
+		return fmt.Errorf("%w (phase %s)", ErrCanceled, phase)
+	}
 	// gpSink wraps mid-stage GP snapshots with flow context. Save
-	// errors are carried out of the iteration loop via ckptErr.
+	// errors are carried out of the iteration loop via ckptErr. The sink
+	// is installed whenever a manager exists — not only when a cadence
+	// is set — because cancellation writes one final mid-stage snapshot
+	// through it regardless of CheckpointEvery.
 	var ckptErr error
 	gpSink := func(phase string) func(*checkpoint.GPState) {
-		if opt.Checkpoint == nil || opt.GP.CheckpointEvery <= 0 {
+		if opt.Checkpoint == nil {
 			return nil
 		}
 		return func(gs *checkpoint.GPState) {
@@ -272,6 +303,9 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 		}
 		if err := saveBoundary(checkpoint.PhasePostMIP); err != nil {
 			return res, err
+		}
+		if ctx.Err() != nil {
+			return res, canceled(checkpoint.PhasePostMIP)
 		}
 	}
 
@@ -322,13 +356,16 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 		if midGP && startPh == phMGP {
 			gpOpt.ResumeGP = rs.GP
 		}
-		res.MGP = PlaceGlobal(d, gpIdx, gpOpt, "mGP", 0)
+		res.MGP = PlaceGlobalContext(ctx, d, gpIdx, gpOpt, "mGP", 0)
 		if opt.MacroHalo > 0 {
 			inflateMacros(d, movMacros, -opt.MacroHalo)
 		}
 		res.addStage(rec, "mGP", time.Since(t0))
 		if ckptErr != nil {
 			return res, ckptErr
+		}
+		if res.MGP.Canceled {
+			return res, canceled("mGP")
 		}
 		if res.MGP.Diverged {
 			return res, fmt.Errorf("core: mGP diverged")
@@ -359,6 +396,9 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 			if err := saveBoundary(checkpoint.PhasePostMLG); err != nil {
 				return res, err
 			}
+			if ctx.Err() != nil {
+				return res, canceled(checkpoint.PhasePostMLG)
+			}
 		}
 
 		// --- cGP: filler-only placement, then free the std cells. ---
@@ -380,12 +420,17 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 				if midGP && startPh == phCGPFiller {
 					fOpt.ResumeGP = rs.GP
 				}
-				PlaceGlobal(d, fillers, fOpt, "cGP-filler", 1)
+				fRes := PlaceGlobalContext(ctx, d, fillers, fOpt, "cGP-filler", 1)
 				for _, ci := range stdCells {
 					d.Cells[ci].Fixed = false
 				}
 				if ckptErr != nil {
 					return res, ckptErr
+				}
+				if fRes.Canceled {
+					// The snapshot was taken with the std cells pinned; the
+					// captured Fixed flags restore that on resume.
+					return res, canceled("cGP-filler")
 				}
 			}
 			if err := saveBoundary(checkpoint.PhasePostCGPFiller); err != nil {
@@ -402,10 +447,13 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 			if midGP && startPh == phCGP {
 				gpOpt.ResumeGP = rs.GP
 			}
-			res.CGP = PlaceGlobal(d, cgpIdx, gpOpt, "cGP", lambdaInit)
+			res.CGP = PlaceGlobalContext(ctx, d, cgpIdx, gpOpt, "cGP", lambdaInit)
 			res.addStage(rec, "cGP", time.Since(t0))
 			if ckptErr != nil {
 				return res, ckptErr
+			}
+			if res.CGP.Canceled {
+				return res, canceled("cGP")
 			}
 			if res.CGP.Diverged {
 				return res, fmt.Errorf("core: cGP diverged")
@@ -424,6 +472,12 @@ func Place(d *netlist.Design, opt FlowOptions) (FlowResult, error) {
 	}
 	if err := saveBoundary(checkpoint.PhasePreCDP); err != nil {
 		return res, err
+	}
+	if ctx.Err() != nil {
+		// cDP is not internally interruptible (its repair passes have no
+		// capturable mid-state); a cancellation landing here stops before
+		// it starts, resumable from the pre-cDP boundary.
+		return res, canceled(checkpoint.PhasePreCDP)
 	}
 
 	// --- cDP: row legalization + discrete refinement. ---

@@ -130,6 +130,11 @@ type Result struct {
 	// target (typically an infeasible density bound); the best snapshot
 	// was returned.
 	Stagnated bool
+	// Canceled reports that the run was stopped by context cancellation
+	// before reaching its stopping criterion. When a CheckpointSink was
+	// installed, a final mid-stage snapshot was written first, so the
+	// run is resumable from exactly where it stopped.
+	Canceled bool
 	// Backtracks is the total BkTrk count (Nesterov only).
 	Backtracks int
 	// Restarts is the adaptive-restart count (Nesterov only).

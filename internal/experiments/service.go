@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"eplace/internal/core"
+	"eplace/internal/server"
+	"eplace/internal/synth"
+	"eplace/internal/telemetry"
+)
+
+// ServiceOptions sizes the placement-service load experiment.
+type ServiceOptions struct {
+	// Jobs is the total submissions (default 200).
+	Jobs int
+	// Concurrent is the scheduler's slot count (default 4).
+	Concurrent int
+	// WorkersPerJob is each slot's gradient-kernel budget (default 1).
+	WorkersPerJob int
+	// CancelFrac is the fraction of jobs canceled mid-run (default 0.15).
+	CancelFrac float64
+	// Verify bounds how many preempted-and-resumed jobs are re-run
+	// without interruption for a digest comparison (default 3; the
+	// re-runs are full placements, so this dominates verification cost).
+	Verify int
+	// Seed drives the job mix and cancel choices (default 1).
+	Seed int64
+	// Dir overrides the job-state directory (default: a temp dir,
+	// removed afterwards).
+	Dir string
+	// Log, when non-nil, receives scheduler events and progress lines.
+	Log io.Writer
+}
+
+func (o *ServiceOptions) defaults() {
+	if o.Jobs <= 0 {
+		o.Jobs = 200
+	}
+	if o.Concurrent <= 0 {
+		o.Concurrent = 4
+	}
+	if o.WorkersPerJob <= 0 {
+		o.WorkersPerJob = 1
+	}
+	if o.CancelFrac < 0 {
+		o.CancelFrac = 0
+	} else if o.CancelFrac == 0 {
+		o.CancelFrac = 0.15
+	}
+	if o.Verify <= 0 {
+		o.Verify = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// serviceJob pairs a submission with what the harness knows about it.
+type serviceJob struct {
+	id     string
+	spec   server.JobSpec
+	cancel bool
+}
+
+// serviceMix builds a deterministic mixed-size job load: mostly small
+// GP-only placements (the throughput filler), some full flows, a few
+// mixed-size designs, plus a forced-preemption pattern — long
+// low-priority jobs submitted first so the later high-priority
+// submissions must preempt them.
+func serviceMix(n int, rng *rand.Rand) []server.JobSpec {
+	specs := make([]server.JobSpec, 0, n)
+	// Preemption bait: long, low-priority, checkpoint-heavy.
+	bait := n / 20
+	if bait < 2 {
+		bait = 2
+	}
+	for i := 0; i < bait && len(specs) < n; i++ {
+		specs = append(specs, server.JobSpec{
+			Synth: &synth.Spec{
+				Name:             fmt.Sprintf("svc-bait-%02d", i),
+				NumCells:         500 + rng.Intn(100),
+				NumMovableMacros: 2,
+			},
+			GridM:    32,
+			MaxIters: 500,
+			Priority: 0,
+		})
+	}
+	for len(specs) < n {
+		i := len(specs)
+		r := rng.Float64()
+		switch {
+		case r < 0.70: // small, GP-only: the queue filler
+			specs = append(specs, server.JobSpec{
+				Synth: &synth.Spec{
+					Name:     fmt.Sprintf("svc-s%03d", i),
+					NumCells: 60 + rng.Intn(120),
+				},
+				GridM:    16,
+				MaxIters: 60 + rng.Intn(60),
+				Priority: rng.Intn(2),
+				GPOnly:   true,
+			})
+		case r < 0.90: // mid-size full flow
+			specs = append(specs, server.JobSpec{
+				Synth: &synth.Spec{
+					Name:     fmt.Sprintf("svc-m%03d", i),
+					NumCells: 150 + rng.Intn(150),
+				},
+				GridM:    16,
+				MaxIters: 150,
+				Priority: rng.Intn(3),
+			})
+		default: // mixed-size, high priority: the preemptors
+			specs = append(specs, server.JobSpec{
+				Synth: &synth.Spec{
+					Name:             fmt.Sprintf("svc-x%03d", i),
+					NumCells:         250 + rng.Intn(100),
+					NumMovableMacros: 2,
+				},
+				GridM:    32,
+				MaxIters: 300,
+				Priority: 3,
+			})
+		}
+	}
+	return specs
+}
+
+// ServiceLoad drives the placement job server with a mixed load —
+// hundreds of queued jobs, random cancellations, forced preemptions —
+// waits for the queue to drain, digest-verifies preempted jobs against
+// uninterrupted re-runs, and returns the throughput/latency report
+// committed as BENCH_service.json.
+func ServiceLoad(opt ServiceOptions) (*telemetry.ServiceReport, error) {
+	opt.defaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	dir := opt.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "eplace-service-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	s, err := server.New(server.Config{
+		MaxConcurrent:   opt.Concurrent,
+		WorkersPerJob:   opt.WorkersPerJob,
+		CheckpointEvery: 5,
+		QueueLimit:      opt.Jobs + 16,
+		Dir:             dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	specs := serviceMix(opt.Jobs, rng)
+	jobs := make([]*serviceJob, 0, len(specs))
+	t0 := time.Now()
+	for _, spec := range specs {
+		st, err := s.Submit(spec)
+		if err != nil {
+			return nil, fmt.Errorf("submit: %w", err)
+		}
+		jobs = append(jobs, &serviceJob{id: st.ID, spec: spec})
+	}
+
+	// Random cancellations land while the queue drains: some hit jobs
+	// still queued, some hit running placements mid-flow.
+	for _, j := range jobs {
+		if rng.Float64() < opt.CancelFrac {
+			j.cancel = true
+		}
+	}
+	for _, j := range jobs {
+		if !j.cancel {
+			continue
+		}
+		if _, err := s.Cancel(j.id); err != nil {
+			return nil, fmt.Errorf("cancel %s: %w", j.id, err)
+		}
+		time.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
+	}
+
+	// Drain.
+	statuses := make(map[string]server.JobStatus, len(jobs))
+	for _, j := range jobs {
+		for {
+			st, err := s.Job(j.id)
+			if err != nil {
+				return nil, err
+			}
+			if st.State == server.StateDone || st.State == server.StateFailed ||
+				st.State == server.StateCanceled {
+				statuses[j.id] = st
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	elapsed := time.Since(t0)
+
+	rep := telemetry.NewServiceReport("eplace-service")
+	rep.MaxConcurrent = opt.Concurrent
+	rep.WorkersPerJob = opt.WorkersPerJob
+	rep.Jobs = len(jobs)
+	rep.ElapsedSeconds = elapsed.Seconds()
+
+	var wait, run, turnaround []float64
+	for _, j := range jobs {
+		st := statuses[j.id]
+		switch st.State {
+		case server.StateDone:
+			rep.Done++
+		case server.StateCanceled:
+			rep.Canceled++
+		case server.StateFailed:
+			rep.Failed++
+			if opt.Log != nil {
+				fmt.Fprintf(opt.Log, "service: %s FAILED: %s\n", j.id, st.Error)
+			}
+		}
+		rep.Preemptions += st.Preemptions
+		rep.Resumes += st.Resumes
+		if st.Started != nil {
+			wait = append(wait, st.Started.Sub(st.Submitted).Seconds())
+		}
+		if st.RunSeconds > 0 {
+			run = append(run, st.RunSeconds)
+		}
+		if st.Finished != nil {
+			turnaround = append(turnaround, st.Finished.Sub(st.Submitted).Seconds())
+		}
+	}
+	rep.Wait = telemetry.Percentiles(wait)
+	rep.Run = telemetry.Percentiles(run)
+	rep.Turnaround = telemetry.Percentiles(turnaround)
+	if elapsed > 0 {
+		rep.JobsPerSecond = float64(rep.Done) / elapsed.Seconds()
+	}
+
+	// Bitwise-resume verification: re-run preempted-and-finished jobs
+	// without interruption and compare golden-trace digests.
+	for _, j := range jobs {
+		if rep.DigestChecks >= opt.Verify {
+			break
+		}
+		st := statuses[j.id]
+		if st.State != server.StateDone || st.Preemptions == 0 || st.Result == nil {
+			continue
+		}
+		ref, err := core.Place(synth.Generate(*j.spec.Synth), core.FlowOptions{
+			GP: core.Options{
+				GridM:    j.spec.GridM,
+				MaxIters: j.spec.MaxIters,
+				Workers:  opt.WorkersPerJob,
+			},
+			SkipLegalization: j.spec.GPOnly,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("verify re-run of %s: %w", j.id, err)
+		}
+		rep.DigestChecks++
+		if ok, why := telemetry.DigestsEqual(ref.Digests, st.Result.Digests); ok {
+			rep.DigestMatches++
+		} else if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "service: %s digest MISMATCH: %s\n", j.id, why)
+		}
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "service: verified %s (%d preemptions, %d resumes)\n",
+				j.id, st.Preemptions, st.Resumes)
+		}
+	}
+
+	if opt.Log != nil {
+		fmt.Fprintf(opt.Log,
+			"service: %d jobs in %.1fs (%.1f done/s): %d done %d canceled %d failed, %d preemptions %d resumes, digests %d/%d\n",
+			rep.Jobs, rep.ElapsedSeconds, rep.JobsPerSecond, rep.Done, rep.Canceled,
+			rep.Failed, rep.Preemptions, rep.Resumes, rep.DigestMatches, rep.DigestChecks)
+	}
+	return rep, nil
+}

@@ -18,6 +18,13 @@ type CGSolver struct {
 	// InitStep is the first trial steplength of each search, refreshed
 	// from the previously accepted step.
 	InitStep float64
+	// Interrupt, when non-nil, is polled between line-search trials;
+	// once it reports true the search stops early with the best trial so
+	// far. Each trial costs a full objective evaluation (a Poisson
+	// solve), so without this hook a cancelled CG placement would still
+	// burn up to MaxTrials solves before the iteration loop could notice
+	// the cancellation.
+	Interrupt func() bool
 
 	cost  CostFunc
 	grad  GradFunc
@@ -112,6 +119,9 @@ func (s *CGSolver) Step() float64 {
 	step := s.InitStep
 	accepted := 0.0
 	for trial := 0; trial < s.MaxTrials; trial++ {
+		if trial > 0 && s.Interrupt != nil && s.Interrupt() {
+			break
+		}
 		for i := 0; i < n; i++ {
 			s.cand[i] = s.V[i] + step*s.dir[i]
 		}

@@ -21,7 +21,9 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -34,6 +36,37 @@ func Count(n int) int {
 	return n
 }
 
+// WorkerPanic is the value For re-panics on the calling goroutine when
+// a pool worker panics: the worker's recovered value plus the stack
+// trace captured on the worker at recover time. Re-panicking raw would
+// print the *caller's* stack — every pool panic would point at
+// wg.Wait() instead of the kernel shard that blew up, which is
+// undebuggable once panics surface in server logs rather than a
+// terminal.
+type WorkerPanic struct {
+	// Value is the worker's original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recover time
+	// (runtime/debug.Stack).
+	Stack []byte
+}
+
+// Error renders the original panic value followed by the worker stack,
+// so both the runtime's panic output and log captures show where the
+// shard actually failed.
+func (p WorkerPanic) Error() string {
+	return fmt.Sprintf("%v\n\nworker stack:\n%s", p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error, so
+// errors.Is/As keep working through a recover-and-inspect.
+func (p WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // For splits the index range [0, n) into one contiguous shard per worker
 // and runs fn(worker, lo, hi) for every non-empty shard concurrently.
 // Worker ids passed to fn are dense in [0, min(workers, n)), so callers
@@ -42,7 +75,10 @@ func Count(n int) int {
 // the call is exactly the serial loop.
 //
 // If any shard panics, For waits for the remaining shards and then
-// re-panics the first recovered value on the calling goroutine.
+// re-panics the first recovered value on the calling goroutine, wrapped
+// in a WorkerPanic that carries the worker's own stack trace (the
+// inline workers <= 1 path panics straight through and needs no
+// wrapping: the caller's stack IS the worker's stack there).
 func For(workers, n int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -74,7 +110,15 @@ func For(workers, n int, fn func(worker, lo, hi int)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					once.Do(func() { pv = r })
+					// debug.Stack() must run here, on the worker that
+					// panicked, or the trace is lost; nested Fors keep
+					// the innermost capture.
+					if wp, ok := r.(WorkerPanic); ok {
+						once.Do(func() { pv = wp })
+						return
+					}
+					stack := debug.Stack()
+					once.Do(func() { pv = WorkerPanic{Value: r, Stack: stack} })
 				}
 			}()
 			fn(w, lo, hi)

@@ -1,7 +1,9 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -75,8 +77,26 @@ func TestForPanicPropagation(t *testing.T) {
 				if r == nil {
 					t.Fatalf("workers=%d: panic did not propagate", workers)
 				}
-				if s, ok := r.(string); !ok || s != "boom" {
-					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				// The inline workers<=1 path panics the raw value; the
+				// pooled path wraps it in a WorkerPanic carrying the
+				// worker's stack.
+				switch v := r.(type) {
+				case string:
+					if workers != 1 || v != "boom" {
+						t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+					}
+				case WorkerPanic:
+					if workers == 1 {
+						t.Fatalf("workers=1 inline path should not wrap, got %T", r)
+					}
+					if s, ok := v.Value.(string); !ok || s != "boom" {
+						t.Fatalf("workers=%d: wrapped value %v, want boom", workers, v.Value)
+					}
+					if len(v.Stack) == 0 {
+						t.Fatalf("workers=%d: WorkerPanic carries no stack", workers)
+					}
+				default:
+					t.Fatalf("workers=%d: recovered %T %v", workers, r, r)
 				}
 			}()
 			For(workers, 8, func(w, lo, hi int) {
@@ -86,4 +106,47 @@ func TestForPanicPropagation(t *testing.T) {
 			})
 		}()
 	}
+}
+
+// TestForPanicCarriesWorkerStack pins the debugging contract: the
+// propagated panic's stack names the function that actually panicked on
+// the worker goroutine, not just the wg.Wait() frame of the caller.
+func TestForPanicCarriesWorkerStack(t *testing.T) {
+	defer func() {
+		r := recover()
+		wp, ok := r.(WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want WorkerPanic", r)
+		}
+		if !strings.Contains(string(wp.Stack), "explodingShard") {
+			t.Errorf("worker stack does not name the panicking function:\n%s", wp.Stack)
+		}
+		if !strings.Contains(wp.Error(), "kaboom") || !strings.Contains(wp.Error(), "worker stack:") {
+			t.Errorf("Error() = %q, want panic value and stack", wp.Error())
+		}
+	}()
+	For(4, 8, func(w, lo, hi int) {
+		if lo == 0 {
+			explodingShard()
+		}
+	})
+}
+
+func explodingShard() { panic("kaboom") }
+
+// TestWorkerPanicUnwrap: error panic values stay inspectable with
+// errors.Is through the wrapper.
+func TestWorkerPanicUnwrap(t *testing.T) {
+	sentinel := errors.New("shard failed")
+	defer func() {
+		r := recover()
+		wp, ok := r.(WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want WorkerPanic", r)
+		}
+		if !errors.Is(wp, sentinel) {
+			t.Error("errors.Is does not see the original error through WorkerPanic")
+		}
+	}()
+	For(2, 4, func(w, lo, hi int) { panic(sentinel) })
 }

@@ -1,0 +1,386 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"eplace/internal/core"
+	"eplace/internal/synth"
+	"eplace/internal/telemetry"
+)
+
+// waitJob polls until pred accepts the job's status.
+func waitJob(t *testing.T, s *Server, id string, what string, pred func(JobStatus) bool) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Job(id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if pred(st) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := s.Job(id)
+	t.Fatalf("job %s never reached %s (stuck at %+v)", id, what, st)
+	return JobStatus{}
+}
+
+func terminal(st JobStatus) bool { return st.State.terminal() }
+
+// TestServerPreemptResumeBitwise is the service-level acceptance test:
+// a single-slot server runs a low-priority job, a high-priority submit
+// forces the scheduler to preempt it mid-flow via checkpoint, and after
+// the high-priority job finishes the victim resumes and completes with
+// golden-trace digests identical to an uninterrupted run of the same
+// design.
+func TestServerPreemptResumeBitwise(t *testing.T) {
+	spec := synth.Spec{Name: "srv-victim", NumCells: 600, NumMovableMacros: 3}
+
+	// Uninterrupted reference, same placement options the server uses.
+	ref, err := core.Place(synth.Generate(spec), core.FlowOptions{
+		GP: core.Options{GridM: 32, MaxIters: 500, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{
+		MaxConcurrent:   1,
+		WorkersPerJob:   1,
+		CheckpointEvery: 2,
+		Dir:             t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	victim, err := s.Submit(JobSpec{
+		Synth: &spec, GridM: 32, MaxIters: 500, Priority: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the victim get well into mGP before the preemptor arrives.
+	waitJob(t, s, victim.ID, "mid-mGP", func(st JobStatus) bool {
+		return st.State == StateRunning && st.Stage == "mGP" && st.Iteration > 5
+	})
+
+	hi, err := s.Submit(JobSpec{
+		Synth:    &synth.Spec{Name: "srv-urgent", NumCells: 120},
+		GridM:    16,
+		MaxIters: 200,
+		Priority: 5,
+		GPOnly:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hiSt := waitJob(t, s, hi.ID, "terminal", terminal)
+	if hiSt.State != StateDone {
+		t.Fatalf("high-priority job ended %s (%s)", hiSt.State, hiSt.Error)
+	}
+	vSt := waitJob(t, s, victim.ID, "terminal", terminal)
+	if vSt.State != StateDone {
+		t.Fatalf("victim ended %s (%s)", vSt.State, vSt.Error)
+	}
+	if vSt.Preemptions < 1 {
+		t.Errorf("victim recorded %d preemptions, want >= 1", vSt.Preemptions)
+	}
+	if vSt.Resumes < 1 {
+		t.Errorf("victim recorded %d resumes, want >= 1", vSt.Resumes)
+	}
+	if vSt.Result == nil {
+		t.Fatal("victim has no result")
+	}
+	if ok, why := telemetry.DigestsEqual(ref.Digests, vSt.Result.Digests); !ok {
+		t.Errorf("preempted+resumed digests differ from uninterrupted run: %s", why)
+	}
+	if !vSt.Result.Legal {
+		t.Error("victim result not legal")
+	}
+	if s.Stats().Preemptions < 1 {
+		t.Errorf("server stats count %d preemptions", s.Stats().Preemptions)
+	}
+}
+
+// TestServerConcurrentSubmitCancel hammers the scheduler from many
+// goroutines: parallel submits of small jobs, cancels landing on
+// queued and running jobs alike, everything draining to a consistent
+// terminal census. Run under -race this is the scheduler's
+// thread-safety test.
+func TestServerConcurrentSubmitCancel(t *testing.T) {
+	s, err := New(Config{
+		MaxConcurrent:   2,
+		WorkersPerJob:   1,
+		CheckpointEvery: 5,
+		Dir:             t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 12
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := s.Submit(JobSpec{
+				Synth:    &synth.Spec{Name: fmt.Sprintf("srv-c%d", i), NumCells: 80 + 10*i},
+				GridM:    16,
+				MaxIters: 80,
+				GPOnly:   true,
+				Priority: i % 3,
+			})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i] = st.ID
+			if i%4 == 0 {
+				// Cancel some jobs immediately: these land on queued or
+				// just-started jobs nondeterministically.
+				if _, err := s.Cancel(st.ID); err != nil {
+					t.Errorf("cancel %s: %v", st.ID, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	done, canceled := 0, 0
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		st := waitJob(t, s, id, "terminal", terminal)
+		switch st.State {
+		case StateDone:
+			done++
+			if st.Result == nil || st.Result.HPWL <= 0 {
+				t.Errorf("%s done without a result", id)
+			}
+		case StateCanceled:
+			canceled++
+		default:
+			t.Errorf("%s ended %s: %s", id, st.State, st.Error)
+		}
+	}
+	if done == 0 {
+		t.Error("no job completed")
+	}
+	if done+canceled != n {
+		t.Errorf("census done=%d canceled=%d, want %d total", done, canceled, n)
+	}
+	stats := s.Stats()
+	if stats.Running != 0 || stats.Waiting != 0 {
+		t.Errorf("drained server still reports running=%d waiting=%d", stats.Running, stats.Waiting)
+	}
+}
+
+// TestServerCloseCheckpointsRunning: shutdown cancels running jobs
+// through their flow context, so each parks as preempted with a
+// loadable checkpoint instead of losing its work.
+func TestServerCloseCheckpointsRunning(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{MaxConcurrent: 1, CheckpointEvery: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Submit(JobSpec{
+		Synth: &synth.Spec{Name: "srv-shut", NumCells: 600, NumMovableMacros: 3},
+		GridM: 32, MaxIters: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, st.ID, "mid-mGP", func(js JobStatus) bool {
+		return js.State == StateRunning && js.Stage == "mGP" && js.Iteration > 3
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StatePreempted {
+		t.Fatalf("job state after shutdown %s, want preempted", got.State)
+	}
+	if _, err := os.Stat(filepath.Join(dir, st.ID, "ckpt", "latest.ckpt")); err != nil {
+		t.Errorf("no checkpoint on disk after shutdown: %v", err)
+	}
+}
+
+// TestServerHTTP drives the wire API end-to-end: submit via POST,
+// watch progress, fetch the result, the JSONL trace, the telemetry
+// ring and the raw checkpoint, and cancel a queued job.
+func TestServerHTTP(t *testing.T) {
+	s, err := New(Config{MaxConcurrent: 1, CheckpointEvery: 5, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h, err := ListenAndServe("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	base := "http://" + h.Addr()
+
+	post := func(path string, body any) (*http.Response, []byte) {
+		t.Helper()
+		var buf bytes.Buffer
+		if body != nil {
+			if err := json.NewEncoder(&buf).Encode(body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp, err := http.Post(base+path, "application/json", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		out.ReadFrom(resp.Body)
+		return resp, out.Bytes()
+	}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		out.ReadFrom(resp.Body)
+		return resp, out.Bytes()
+	}
+
+	resp, body := post("/jobs", JobSpec{
+		Synth: &synth.Spec{Name: "http-a", NumCells: 150}, GridM: 16, MaxIters: 150,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second submission that we cancel over the wire while the first
+	// occupies the single slot.
+	resp, body = post("/jobs", JobSpec{
+		Synth: &synth.Spec{Name: "http-b", NumCells: 150}, GridM: 16, MaxIters: 150,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit b: %d %s", resp.StatusCode, body)
+	}
+	var stB JobStatus
+	if err := json.Unmarshal(body, &stB); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body = post("/jobs/"+stB.ID+"/cancel", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d %s", resp.StatusCode, body)
+	}
+
+	// Result is a 409 until the job finishes.
+	if resp, _ = get("/jobs/" + st.ID + "/result"); resp.StatusCode == http.StatusOK {
+		if w := waitJob(t, s, st.ID, "terminal", terminal); w.State != StateDone {
+			t.Fatalf("job a ended %s", w.State)
+		}
+	}
+	fin := waitJob(t, s, st.ID, "terminal", terminal)
+	if fin.State != StateDone {
+		t.Fatalf("job a ended %s (%s)", fin.State, fin.Error)
+	}
+
+	resp, body = get("/jobs/" + st.ID + "/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, body)
+	}
+	var res JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL <= 0 || !res.Legal || len(res.Digests) == 0 {
+		t.Errorf("implausible result over the wire: %+v", res)
+	}
+
+	// The trace artifact and the live ring both decode with ReadJSONL —
+	// one wire format.
+	resp, body = get("/jobs/" + st.ID + "/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %d", resp.StatusCode)
+	}
+	events, err := telemetry.ReadJSONL(bytes.NewReader(body))
+	if err != nil || len(events) == 0 {
+		t.Fatalf("trace decode: %d events, %v", len(events), err)
+	}
+	resp, body = get("/jobs/" + st.ID + "/telemetry")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("telemetry: %d", resp.StatusCode)
+	}
+	if events, err = telemetry.ReadJSONL(bytes.NewReader(body)); err != nil || len(events) == 0 {
+		t.Fatalf("telemetry decode: %d events, %v", len(events), err)
+	}
+
+	if resp, _ = get("/jobs/" + st.ID + "/checkpoint"); resp.StatusCode != http.StatusOK {
+		t.Errorf("checkpoint fetch: %d", resp.StatusCode)
+	}
+	if resp, _ = get("/jobs/" + st.ID + "/result.pl"); resp.StatusCode != http.StatusOK {
+		t.Errorf("result.pl fetch: %d", resp.StatusCode)
+	}
+
+	resp, body = get("/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	var stats Stats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs != 2 || stats.Done < 1 {
+		t.Errorf("status census %+v", stats)
+	}
+
+	if resp, _ = get("/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobSpecValidate rejects ambiguous and empty design sources.
+func TestJobSpecValidate(t *testing.T) {
+	bad := []JobSpec{
+		{},
+		{Synth: &synth.Spec{NumCells: 10}, AuxPath: "x.aux"},
+		{Synth: &synth.Spec{}},
+		{Files: map[string]string{"a.nodes": ""}},
+	}
+	for i, spec := range bad {
+		if err := spec.validate(); err == nil {
+			t.Errorf("spec %d validated, want error", i)
+		}
+	}
+	ok := JobSpec{Files: map[string]string{"a.aux": "", "a.nodes": ""}}
+	if err := ok.validate(); err != nil {
+		t.Errorf("files spec rejected: %v", err)
+	}
+	if got := ok.auxFile(); got != "a.aux" {
+		t.Errorf("auxFile = %q", got)
+	}
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// LatencyPercentiles summarizes one latency distribution in seconds,
+// by nearest-rank percentile.
+type LatencyPercentiles struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P90   float64 `json:"p90_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+// Percentiles computes nearest-rank percentiles over samples (seconds).
+// The input is not modified.
+func Percentiles(samples []float64) LatencyPercentiles {
+	if len(samples) == 0 {
+		return LatencyPercentiles{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p/100*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return LatencyPercentiles{
+		Count: len(s),
+		P50:   rank(50),
+		P90:   rank(90),
+		P99:   rank(99),
+		Max:   s[len(s)-1],
+	}
+}
+
+// ServiceReport is the machine-readable scorecard of one placement-
+// service load run (BENCH_service.json): scheduler configuration, the
+// job census, preemption/resume activity, the bitwise-resume digest
+// verification tally, and throughput/latency percentiles.
+type ServiceReport struct {
+	Name       string `json:"name"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	MaxConcurrent int `json:"max_concurrent"`
+	WorkersPerJob int `json:"workers_per_job"`
+
+	Jobs     int `json:"jobs"`
+	Done     int `json:"done"`
+	Canceled int `json:"canceled"`
+	Failed   int `json:"failed"`
+	// Preemptions counts scheduler preemptions; Resumes counts run
+	// segments continued from a mid-flow checkpoint.
+	Preemptions int `json:"preemptions"`
+	Resumes     int `json:"resumes"`
+
+	// DigestChecks preempted-and-resumed jobs were re-run without
+	// interruption and their golden-trace digests compared;
+	// DigestMatches of them were bitwise-identical. The service's
+	// determinism contract holds iff these are equal.
+	DigestChecks  int `json:"digest_checks"`
+	DigestMatches int `json:"digest_matches"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// JobsPerSecond is completed (done) jobs over elapsed wall time.
+	JobsPerSecond float64 `json:"jobs_per_second"`
+
+	// Wait is submit -> first start; Run is placement wall time summed
+	// over a job's segments; Turnaround is submit -> terminal state.
+	Wait       LatencyPercentiles `json:"wait"`
+	Run        LatencyPercentiles `json:"run"`
+	Turnaround LatencyPercentiles `json:"turnaround"`
+}
+
+// NewServiceReport creates a report stamped with the runtime
+// environment, mirroring NewBenchReport.
+func NewServiceReport(name string) *ServiceReport {
+	return &ServiceReport{
+		Name:       name,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Write emits the report as indented JSON.
+func (r *ServiceReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *ServiceReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadServiceReport decodes a report written by Write.
+func ReadServiceReport(r io.Reader) (*ServiceReport, error) {
+	var out ServiceReport
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

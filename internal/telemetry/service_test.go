@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPercentiles(t *testing.T) {
+	if got := Percentiles(nil); got.Count != 0 || got.Max != 0 {
+		t.Errorf("empty input: %+v", got)
+	}
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(100 - i) // unsorted on purpose
+	}
+	p := Percentiles(samples)
+	if p.Count != 100 || p.P50 != 50 || p.P90 != 90 || p.P99 != 99 || p.Max != 100 {
+		t.Errorf("percentiles over 1..100: %+v", p)
+	}
+	if samples[0] != 100 {
+		t.Error("input was mutated")
+	}
+	one := Percentiles([]float64{3.5})
+	if one.P50 != 3.5 || one.P99 != 3.5 || one.Max != 3.5 {
+		t.Errorf("single sample: %+v", one)
+	}
+}
+
+func TestServiceReportRoundTrip(t *testing.T) {
+	rep := NewServiceReport("test")
+	rep.Jobs = 10
+	rep.Done = 8
+	rep.Preemptions = 2
+	rep.DigestChecks = 2
+	rep.DigestMatches = 2
+	rep.Wait = Percentiles([]float64{0.1, 0.2, 0.3})
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadServiceReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Jobs != 10 || got.Done != 8 || got.Preemptions != 2 || got.Wait.Count != 3 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.GoVersion == "" || got.CPUs == 0 {
+		t.Errorf("environment stamp missing: %+v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The expvar registry is process-global and panics on duplicate
@@ -80,6 +82,10 @@ func NewStatusMux(r *Recorder, ring *RingSink) *http.ServeMux {
 type StatusServer struct {
 	ln  net.Listener
 	srv *http.Server
+
+	// ShutdownTimeout bounds how long Close waits for in-flight
+	// requests to finish before dropping them (default 2s).
+	ShutdownTimeout time.Duration
 }
 
 // ServeStatus starts the status endpoint on addr (e.g. ":6060" or
@@ -97,5 +103,19 @@ func ServeStatus(addr string, r *Recorder, ring *RingSink) (*StatusServer, error
 // Addr returns the bound address (resolves ":0" ports).
 func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
-func (s *StatusServer) Close() error { return s.srv.Close() }
+// Close stops the server gracefully: it stops accepting connections
+// and waits up to ShutdownTimeout for in-flight /status and /samples
+// responses to finish (http.Server.Close would sever them mid-body),
+// then falls back to a hard close for any straggler.
+func (s *StatusServer) Close() error {
+	timeout := s.ShutdownTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
