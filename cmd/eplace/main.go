@@ -68,6 +68,8 @@ func run(ctx context.Context) error {
 		maxIters = flag.Int("iters", 0, "max GP iterations (0 = default 3000)")
 		workers  = flag.Int("workers", 0, "gradient-kernel workers (0 = all cores, 1 = serial)")
 		gpOnly   = flag.Bool("gp-only", false, "stop after global placement (no legalization)")
+		levels   = flag.Int("levels", 1, "multilevel V-cycle levels (1 = flat; >1 clusters the netlist and warm-starts each level)")
+		clCap    = flag.Float64("cluster-cap", 0, "cluster area cap as a multiple of the average std-cell area (0 = default)")
 		tdPasses = flag.Int("timing", 0, "timing-driven reweighting passes (extension)")
 		cgPasses = flag.Int("congestion", 0, "congestion-driven reweighting passes (extension)")
 		heatmap  = flag.String("heatmap", "", "directory for PGM heatmaps of the final layout")
@@ -174,7 +176,7 @@ func run(ctx context.Context) error {
 	// Checkpointing and resume: the flow snapshots itself at stage
 	// boundaries (plus every -checkpoint-every GP iterations) and can
 	// continue from latest.ckpt with a bitwise-identical result.
-	flow := core.FlowOptions{GP: gp, SkipLegalization: *gpOnly}
+	flow := core.FlowOptions{GP: gp, SkipLegalization: *gpOnly, Levels: *levels, ClusterCap: *clCap}
 	if *resume && *ckptDir == "" {
 		return errors.New("-resume requires -checkpoint-dir")
 	}
@@ -248,6 +250,10 @@ func run(ctx context.Context) error {
 	fmt.Printf("scaled HPWL   %.6g\n", rep.ScaledHPWL)
 	fmt.Printf("overflow tau  %.4f\n", rep.Overflow)
 	fmt.Printf("legal         %v\n", rep.Legal)
+	for _, ml := range res.ML {
+		fmt.Printf("mGP/L%-8d %d cells, %d iters, tau %.4f\n",
+			ml.Level, ml.Cells, ml.Result.Iterations, ml.Result.Overflow)
+	}
 	fmt.Printf("mGP           %d iters, tau %.4f, %d backtracks\n",
 		res.MGP.Iterations, res.MGP.Overflow, res.MGP.Backtracks)
 	if res.MixedSize {
@@ -279,6 +285,9 @@ func run(ctx context.Context) error {
 		}
 		if res.MixedSize {
 			b.Iterations["cGP"] = res.CGP.Iterations
+		}
+		for _, ml := range res.ML {
+			b.Iterations[fmt.Sprintf("mGP/L%d", ml.Level)] = ml.Result.Iterations
 		}
 		for _, stage := range res.Stages {
 			b.Stages = append(b.Stages, telemetry.StageSeconds{

@@ -35,6 +35,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "gradient-kernel workers (0 = all cores)")
 		benchOut = flag.String("bench-out", "BENCH_eplace.json", "output path for -exp bench")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
+		million  = flag.Bool("million", false, "add a 1M-cell multilevel row to -exp bench")
+		levels   = flag.Int("levels", 0, "V-cycle depth for the bench scale sweep (0 = default 5)")
+		noSweep  = flag.Bool("no-sweep", false, "skip the large-circuit scale sweep in -exp bench")
 
 		jobs       = flag.Int("jobs", 0, "job count for -exp service (0 = default 200)")
 		concurrent = flag.Int("concurrent", 0, "scheduler slots for -exp service (0 = default 4)")
@@ -80,6 +83,7 @@ func main() {
 		case "bench":
 			report := experiments.BenchSuite(experiments.BenchOptions{
 				Scale: *scale, Circuits: *circuits, Workers: *workers, Log: progress,
+				Million: *million, SweepLevels: *levels, SkipSweep: *noSweep,
 			})
 			if err := report.WriteFile(*benchOut); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *benchOut, err)

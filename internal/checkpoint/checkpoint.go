@@ -61,7 +61,33 @@ const (
 	PhaseCGP           = "cGP" // mid-stage, GP != nil
 	PhasePreCDP        = "pre-cDP"
 	PhaseDone          = "done"
+	// PhasePostML marks a completed multilevel prelude: the finest
+	// design holds the interpolated warm-start positions and mGP is the
+	// next work (Level 0).
+	PhasePostML = "post-ML"
 )
+
+// PhaseMLevel is the mid-stage phase of the level-k global placement in
+// a multilevel run ("mGP/L2", "mGP/L1", ...); snapshots carry a GPState
+// and level-k positions. PhasePostMLevel is the boundary after level
+// k's placement was interpolated down: the snapshot holds level k-1
+// positions.
+func PhaseMLevel(k int) string     { return fmt.Sprintf("mGP/L%d", k) }
+func PhasePostMLevel(k int) string { return fmt.Sprintf("post-mGP/L%d", k) }
+
+// ParseMLPhase recognizes the per-level multilevel phases: it returns
+// the level and whether the snapshot is mid-stage (mGP/Lk, carrying a
+// GPState) as opposed to the post-interpolation boundary (post-mGP/Lk).
+func ParseMLPhase(phase string) (level int, mid bool, ok bool) {
+	var k int
+	if n, err := fmt.Sscanf(phase, "mGP/L%d", &k); err == nil && n == 1 && phase == PhaseMLevel(k) {
+		return k, true, true
+	}
+	if n, err := fmt.Sscanf(phase, "post-mGP/L%d", &k); err == nil && n == 1 && phase == PhasePostMLevel(k) {
+		return k, false, true
+	}
+	return 0, false, false
+}
 
 // GPState is the in-flight state of one PlaceGlobal iteration loop,
 // captured at an iteration boundary: everything the loop reads besides
@@ -116,6 +142,13 @@ type State struct {
 	// cGP penalty factor; valid from PhasePostMGP on.
 	MGPIterations  int
 	MGPFinalLambda float64
+	// Level is the netlist level the positions belong to in a
+	// multilevel (V-cycle) run: 0 is the finest (the input design),
+	// higher levels are the coarsened designs. A resuming flow rebuilds
+	// the hierarchy deterministically from the input design — clustering
+	// depends only on structure the Fingerprint covers — and restores
+	// X/Y onto Designs[Level]. Flat runs always write 0.
+	Level int
 	// GP is the in-flight global-placement loop state for mid-stage
 	// phases, nil at stage boundaries.
 	GP *GPState
@@ -424,8 +457,12 @@ func (s *State) Validate(d *netlist.Design) error {
 		return fmt.Errorf("checkpoint: design %q structure changed since the snapshot (fingerprint %016x, snapshot %016x)",
 			d.Name, fp, s.Fingerprint)
 	}
-	if base := len(d.Cells); base != s.NumBaseCells {
-		return fmt.Errorf("checkpoint: design has %d cells, snapshot expects %d before fillers", base, s.NumBaseCells)
+	if s.Level == 0 {
+		if base := len(d.Cells); base != s.NumBaseCells {
+			return fmt.Errorf("checkpoint: design has %d cells, snapshot expects %d before fillers", base, s.NumBaseCells)
+		}
 	}
+	// Level > 0 snapshots capture a coarsened design's positions; the
+	// multilevel driver checks NumBaseCells against the rebuilt level.
 	return nil
 }

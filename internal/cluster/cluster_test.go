@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+)
+
+func testDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	d := synth.Generate(synth.Spec{
+		Name: "clustest", NumCells: 3000,
+		NumMovableMacros: 4, NumFixedMacros: 4,
+	})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// membersOf inverts Up: coarse index -> fine member indices.
+func membersOf(l *Level) [][]int {
+	m := make([][]int, len(l.D.Cells))
+	for fi, ci := range l.Up {
+		m[ci] = append(m[ci], fi)
+	}
+	return m
+}
+
+func TestCoarsenPartitionAndArea(t *testing.T) {
+	d := testDesign(t)
+	lvl := Coarsen(d, Options{})
+	if lvl == nil {
+		t.Fatal("Coarsen returned nil on a 3000-cell design")
+	}
+	if len(lvl.Up) != len(d.Cells) {
+		t.Fatalf("Up covers %d cells, fine has %d", len(lvl.Up), len(d.Cells))
+	}
+	for fi, ci := range lvl.Up {
+		if ci < 0 || ci >= len(lvl.D.Cells) {
+			t.Fatalf("Up[%d] = %d out of range [0, %d)", fi, ci, len(lvl.D.Cells))
+		}
+	}
+
+	fineStd, coarseStd := 0, 0
+	for i := range d.Cells {
+		if !d.Cells[i].Fixed && d.Cells[i].Kind == netlist.StdCell {
+			fineStd++
+		}
+	}
+	members := membersOf(lvl)
+	for ci := range lvl.D.Cells {
+		cc := &lvl.D.Cells[ci]
+		mem := members[ci]
+		if len(mem) == 0 {
+			t.Fatalf("coarse cell %d has no fine members", ci)
+		}
+		if !cc.Fixed && cc.Kind == netlist.StdCell {
+			coarseStd++
+		}
+		if len(mem) == 1 {
+			// Singletons keep their exact geometry, kind and fixedness so
+			// pin offsets and fixed charge stay valid.
+			fc := &d.Cells[mem[0]]
+			if cc.W != fc.W || cc.H != fc.H || cc.X != fc.X || cc.Y != fc.Y ||
+				cc.Kind != fc.Kind || cc.Fixed != fc.Fixed {
+				t.Errorf("singleton %d does not mirror fine cell %d: %+v vs %+v", ci, mem[0], cc, fc)
+			}
+			continue
+		}
+		// Multi-member clusters hold movable standard cells only, and the
+		// footprint conserves the exact member area.
+		var area float64
+		for _, fi := range mem {
+			fc := &d.Cells[fi]
+			if fc.Fixed || fc.Kind != netlist.StdCell {
+				t.Fatalf("cluster %d contains non-std or fixed fine cell %d (kind %v fixed %v)",
+					ci, fi, fc.Kind, fc.Fixed)
+			}
+			area += fc.Area()
+		}
+		if cc.Fixed || cc.Kind != netlist.StdCell {
+			t.Errorf("cluster %d emitted as kind %v fixed %v", ci, cc.Kind, cc.Fixed)
+		}
+		if got := cc.Area(); math.Abs(got-area) > 1e-9*area {
+			t.Errorf("cluster %d area %v, members total %v", ci, got, area)
+		}
+	}
+	if red := float64(fineStd) / float64(coarseStd); red < 1.25 {
+		t.Errorf("reduction %.2fx below the 1.25x floor (%d -> %d std cells)", red, fineStd, coarseStd)
+	}
+
+	// Non-std population (macros, pads, fixed blocks) survives unchanged.
+	count := func(dd *netlist.Design) map[string]int {
+		h := map[string]int{}
+		for i := range dd.Cells {
+			c := &dd.Cells[i]
+			if c.Kind != netlist.StdCell || c.Fixed {
+				h[fmt.Sprintf("%v/%v", c.Kind, c.Fixed)]++
+			}
+		}
+		return h
+	}
+	if f, c := count(d), count(lvl.D); !reflect.DeepEqual(f, c) {
+		t.Errorf("non-std census changed: fine %v coarse %v", f, c)
+	}
+}
+
+// TestCoarsenNetConservation recomputes the expected coarse netlist
+// independently from Up and checks the emitted one matches: every fine
+// net spanning >= 2 clusters survives with exactly its distinct coarse
+// endpoints and weight; nets collapsing inside one cluster vanish.
+func TestCoarsenNetConservation(t *testing.T) {
+	d := testDesign(t)
+	lvl := Coarsen(d, Options{})
+	if lvl == nil {
+		t.Fatal("Coarsen returned nil")
+	}
+
+	key := func(ends []int, weight float64) string {
+		sort.Ints(ends)
+		return fmt.Sprintf("%v w%g", ends, weight)
+	}
+	want := map[string]int{}
+	wantPins := 0
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		seen := map[int]bool{}
+		var ends []int
+		for _, pi := range net.Pins {
+			ci := lvl.Up[d.Pins[pi].Cell]
+			if !seen[ci] {
+				seen[ci] = true
+				ends = append(ends, ci)
+			}
+		}
+		if len(ends) < 2 {
+			continue
+		}
+		want[key(ends, net.Weight)]++
+		wantPins += len(ends)
+	}
+
+	got := map[string]int{}
+	for ni := range lvl.D.Nets {
+		net := &lvl.D.Nets[ni]
+		var ends []int
+		for _, pi := range net.Pins {
+			ends = append(ends, lvl.D.Pins[pi].Cell)
+		}
+		if len(ends) < 2 {
+			t.Errorf("coarse net %d has degree %d", ni, len(ends))
+		}
+		got[key(ends, net.Weight)]++
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("coarse nets differ from Up-derived expectation: %d want keys, %d got keys",
+			len(want), len(got))
+	}
+	if len(lvl.D.Pins) != wantPins {
+		t.Errorf("coarse pins = %d, expected %d", len(lvl.D.Pins), wantPins)
+	}
+}
+
+func TestCoarsenTooSmallReturnsNil(t *testing.T) {
+	d := synth.Generate(synth.Spec{Name: "tiny", NumCells: 250})
+	if lvl := Coarsen(d, Options{}); lvl != nil {
+		t.Error("Coarsen clustered a design below 2*MinCells")
+	}
+	h := Build(d, 4, Options{})
+	if h.Depth() != 1 {
+		t.Errorf("Build depth = %d on a too-small design, want 1", h.Depth())
+	}
+}
+
+// TestCoarsenDeterministic regenerates the same design twice and
+// coarsens both: the coarse designs and maps must match bit for bit
+// (the resume path rebuilds hierarchies and relies on this).
+func TestCoarsenDeterministic(t *testing.T) {
+	a := Coarsen(testDesign(t), Options{})
+	b := Coarsen(testDesign(t), Options{})
+	if a == nil || b == nil {
+		t.Fatal("Coarsen returned nil")
+	}
+	if !reflect.DeepEqual(a.Up, b.Up) {
+		t.Fatal("fine->coarse maps differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.D.Cells, b.D.Cells) {
+		t.Fatal("coarse cells differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.D.Nets, b.D.Nets) || !reflect.DeepEqual(a.D.Pins, b.D.Pins) {
+		t.Fatal("coarse connectivity differs between identical runs")
+	}
+}
+
+func TestBuildHierarchyShrinks(t *testing.T) {
+	d := synth.Generate(synth.Spec{Name: "stack", NumCells: 8000})
+	h := Build(d, 4, Options{})
+	if h.Depth() < 3 {
+		t.Fatalf("depth = %d on an 8000-cell design, want >= 3", h.Depth())
+	}
+	if h.Designs[0] != d {
+		t.Error("Designs[0] must alias the input design")
+	}
+	for k := 1; k < h.Depth(); k++ {
+		if len(h.Designs[k].Cells) >= len(h.Designs[k-1].Cells) {
+			t.Errorf("level %d did not shrink: %d -> %d cells",
+				k, len(h.Designs[k-1].Cells), len(h.Designs[k].Cells))
+		}
+		if err := h.Designs[k].Validate(); err != nil {
+			t.Errorf("level %d invalid: %v", k, err)
+		}
+	}
+}
+
+// TestInterpolateSeatsMembers scatters the coarse cells and hands the
+// placement down: members must land inside their cluster footprint,
+// singletons exactly on their image, and fixed cells must not move.
+func TestInterpolateSeatsMembers(t *testing.T) {
+	d := testDesign(t)
+	lvl := Coarsen(d, Options{})
+	if lvl == nil {
+		t.Fatal("Coarsen returned nil")
+	}
+	for ci := range lvl.D.Cells {
+		cc := &lvl.D.Cells[ci]
+		if cc.Fixed {
+			continue
+		}
+		// Deterministic scatter well inside the region.
+		r := lvl.D.Region
+		fx := float64(ci%97) / 97
+		fy := float64(ci%89) / 89
+		cc.X = r.Lx + cc.W/2 + fx*(r.W()-cc.W)
+		cc.Y = r.Ly + cc.H/2 + fy*(r.H()-cc.H)
+	}
+	type pos struct{ x, y float64 }
+	before := make([]pos, len(d.Cells))
+	for i := range d.Cells {
+		before[i] = pos{d.Cells[i].X, d.Cells[i].Y}
+	}
+	members := membersOf(lvl)
+
+	lvl.Interpolate()
+
+	const tol = 1e-9
+	for i := range d.Cells {
+		fc := &d.Cells[i]
+		if fc.Fixed {
+			if fc.X != before[i].x || fc.Y != before[i].y {
+				t.Fatalf("fixed cell %d moved", i)
+			}
+			continue
+		}
+		cc := &lvl.D.Cells[lvl.Up[i]]
+		movable := 0
+		for _, m := range members[lvl.Up[i]] {
+			if !d.Cells[m].Fixed {
+				movable++
+			}
+		}
+		if movable == 1 {
+			if fc.X != cc.X || fc.Y != cc.Y {
+				t.Errorf("singleton %d at (%v,%v), image at (%v,%v)", i, fc.X, fc.Y, cc.X, cc.Y)
+			}
+			continue
+		}
+		if fc.X < cc.X-cc.W/2-tol || fc.X > cc.X+cc.W/2+tol ||
+			fc.Y < cc.Y-cc.H/2-tol || fc.Y > cc.Y+cc.H/2+tol {
+			t.Errorf("member %d at (%v,%v) outside footprint of cluster %d", i, fc.X, fc.Y, lvl.Up[i])
+		}
+	}
+}
+
+func TestCoarsenRejectsFillers(t *testing.T) {
+	d := netlist.New("fill", testDesign(t).Region)
+	for i := 0; i < 700; i++ {
+		d.AddCell(netlist.Cell{W: 2, H: 2, X: 10, Y: 10})
+	}
+	d.AddCell(netlist.Cell{W: 2, H: 2, X: 5, Y: 5, Kind: netlist.Filler})
+	defer func() {
+		if recover() == nil {
+			t.Error("Coarsen accepted a design with filler cells")
+		}
+	}()
+	Coarsen(d, Options{})
+}

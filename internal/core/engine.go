@@ -58,6 +58,27 @@ func newEngine(d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorde
 	m := opt.GridM
 	if m == 0 {
 		m = grid.ChooseM(len(d.Cells))
+		// eDensity wants bins no finer than the objects themselves: a
+		// bin smaller than the average movable cell rasterizes single
+		// cells into isolated spikes whose local forces push cells back
+		// and forth between adjacent bins instead of spreading them
+		// (observed as an overflow plateau with unbounded wirelength
+		// growth on 10K+ cell auto-gridded runs). Coarsen until one bin
+		// holds at least one average movable object.
+		var area float64
+		n := 0
+		for i := range d.Cells {
+			if !d.Cells[i].Fixed {
+				area += d.Cells[i].W * d.Cells[i].H
+				n++
+			}
+		}
+		if n > 0 {
+			avg := area / float64(n)
+			for m > 16 && d.Region.W()*d.Region.H()/float64(m*m) < avg {
+				m /= 2
+			}
+		}
 	}
 	// Compile the flat view once per stage, after fillers/inflation have
 	// fixed the topology and extents for the whole stage; every hot
@@ -289,6 +310,25 @@ func PlaceGlobalContext(ctx context.Context, d *netlist.Design, idx []int, opt O
 		bestTau = tau0
 	}
 
+	// Divergence threshold. 20x the starting HPWL catches blow-ups on
+	// small designs, but under-shoots at scale: a quadratic seed
+	// collapses everything near the pads, so legitimate spreading alone
+	// multiplies HPWL by far more than 20x on 10K+ cell designs (and by
+	// more still on coarse cluster netlists, whose few long nets spread
+	// to a large fraction of the region). Floor the threshold at half
+	// the geometric ceiling (every net spanning the whole region) — a
+	// clamped blow-up slams into the walls near the ceiling, while real
+	// trajectories stay under a third of it (a uniformly random layout);
+	// stalls below the threshold are caught by the stagnation guard.
+	divergeHPWL := 20 * math.Max(hpwl0, 1)
+	var wSum float64
+	for ni := range d.Nets {
+		wSum += d.Nets[ni].EffWeight()
+	}
+	if b := 0.5 * wSum * (d.Region.Hx - d.Region.Lx + d.Region.Hy - d.Region.Ly); b > divergeHPWL {
+		divergeHPWL = b
+	}
+
 	iter := iterStart
 	for ; iter < opt.MaxIters; iter++ {
 		// Cooperative cancellation, checked once per iteration. The state
@@ -351,7 +391,7 @@ func PlaceGlobalContext(ctx context.Context, d *netlist.Design, idx []int, opt O
 			opt.Telemetry.Sample(s)
 		}
 
-		if math.IsNaN(hpwl) || hpwl > 20*math.Max(hpwl0, 1) {
+		if math.IsNaN(hpwl) || hpwl > divergeHPWL {
 			res.Diverged = true
 			break
 		}

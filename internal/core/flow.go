@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"eplace/internal/checkpoint"
+	"eplace/internal/cluster"
 	"eplace/internal/detail"
 	"eplace/internal/legalize"
 	"eplace/internal/netlist"
@@ -42,6 +43,19 @@ type FlowOptions struct {
 	// around macros for the standard cells.
 	MacroHalo float64
 
+	// Levels enables multilevel (V-cycle) placement when > 1: the design
+	// is coarsened up to Levels-1 times by best-choice clustering
+	// (internal/cluster), mIP and the first global placement run on the
+	// coarsest netlist, each finer level refines a warm start
+	// interpolated from above (stages "mGP/L<k>", coarsest first), and
+	// only the finest level runs the full mGP→mLG→cGP→cDP tail. 0 or 1
+	// places flat. Clustering stops early on designs too small to pay
+	// off, in which case the flow is identical to a flat run.
+	Levels int
+	// ClusterCap caps a cluster's area at this multiple of the average
+	// movable standard-cell area (0 = the cluster package default).
+	ClusterCap float64
+
 	// Checkpoint, when non-nil, persists a crash-safe snapshot at every
 	// stage boundary — and, with GP.CheckpointEvery > 0, every N GP
 	// iterations mid-stage — so an interrupted flow can be continued
@@ -75,6 +89,11 @@ type FlowResult struct {
 	MLG legalize.MLGResult
 	CGP Result
 	DP  detail.Result
+
+	// ML lists the coarse levels' global-placement results (coarsest
+	// first) when the flow ran a multilevel V-cycle; empty for flat
+	// runs. The finest level's result is MGP as usual.
+	ML []MLLevel
 
 	// HPWL is the final half-perimeter wirelength.
 	HPWL float64
@@ -111,6 +130,7 @@ func (r *FlowResult) addStage(rec *telemetry.Recorder, name string, d time.Durat
 // run still has ahead of it.
 const (
 	phMIP = iota
+	phML // multilevel prelude (coarsest mIP + per-level mGP/L<k>)
 	phMGP
 	phMLG
 	phCGPFiller
@@ -122,8 +142,13 @@ const (
 // resumePhase maps a checkpoint phase label to the first flow phase
 // still to run and whether the snapshot is mid-stage (carries GPState).
 func resumePhase(phase string) (int, bool, error) {
+	if _, mid, ok := checkpoint.ParseMLPhase(phase); ok {
+		return phML, mid, nil
+	}
 	switch phase {
 	case checkpoint.PhasePostMIP:
+		return phMGP, false, nil
+	case checkpoint.PhasePostML:
 		return phMGP, false, nil
 	case checkpoint.PhaseMGP:
 		return phMGP, true, nil
@@ -254,6 +279,25 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 		res.MGP.FinalLambda = rs.MGPFinalLambda
 	}
 
+	// --- Multilevel hierarchy. ---
+	// Built only when the V-cycle prelude still has work (fresh runs and
+	// prelude-phase resumes). Clustering reads design structure only —
+	// never positions — so a resumed process rebuilds the bit-identical
+	// stack the fingerprint vouched for.
+	var hier *cluster.Hierarchy
+	if opt.Levels > 1 && (rs == nil || rs.Level > 0 || startPh <= phML) {
+		hier = buildHierarchy(d, &opt)
+	}
+	if rs != nil && rs.Level > 0 {
+		if hier == nil {
+			return res, fmt.Errorf("core: snapshot %q (level %d) is from a multilevel run but this flow builds no levels (set Levels)",
+				rs.Phase, rs.Level)
+		}
+		// A coarse post-mIP snapshot carries Level = coarsest; route it
+		// (like the mGP/L<k> phases, mapped by resumePhase) into the
+		// prelude, which restores onto the rebuilt coarse design.
+		startPh = phML
+	}
 	// fillers is assigned before any GP stage runs; the checkpoint
 	// closures read it at call time.
 	var fillers []int
@@ -267,11 +311,7 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 		}
 		return opt.Checkpoint.Save(flowState(d, fp, phase, len(fillers), &res, golden))
 	}
-	// canceled converts a cancellation observed at phase into the typed
-	// flow error (partial results travel in the FlowResult).
-	canceled := func(phase string) error {
-		return fmt.Errorf("%w (phase %s)", ErrCanceled, phase)
-	}
+	canceled := canceledAt
 	// gpSink wraps mid-stage GP snapshots with flow context. Save
 	// errors are carried out of the iteration loop via ckptErr. The sink
 	// is installed whenever a manager exists — not only when a cadence
@@ -292,7 +332,9 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 	}
 
 	// --- mIP: quadratic wirelength minimization over all movables. ---
-	if startPh <= phMIP {
+	// In multilevel mode the prelude below runs mIP on the coarsest
+	// netlist instead.
+	if hier == nil && startPh <= phMIP {
 		rec.SetStage("mIP")
 		t0 := time.Now()
 		qp.Place(d, movable, opt.MIP)
@@ -309,6 +351,16 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 		}
 	}
 
+	// --- Multilevel prelude: coarsest mIP, then one warm-started global
+	// placement per level, interpolating down to the finest design. ---
+	if hier != nil && startPh <= phML {
+		p := &mlPrelude{ctx: ctx, d: d, opt: &opt, res: &res, rec: rec,
+			golden: golden, emit: emit, fp: fp, hier: hier}
+		if err := p.run(rs); err != nil {
+			return res, err
+		}
+	}
+
 	// Fillers exist from mGP through cGP. A resumed run re-derives them
 	// from the same seed (count and initial positions are functions of
 	// design structure only), then overwrites every position the
@@ -316,7 +368,9 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 	if startPh <= phCGP && !opt.GP.NoFillers {
 		fillers = InsertFillers(d, opt.GP.Seed+1)
 	}
-	if rs != nil {
+	// Level>0 snapshots were consumed by the prelude (they hold coarse
+	// positions); only finest-level (Level 0) snapshots restore here.
+	if rs != nil && rs.Level == 0 {
 		if rs.NumFillers > 0 && len(fillers) != rs.NumFillers {
 			return res, fmt.Errorf("core: re-inserted %d fillers, snapshot has %d (design or options changed?)",
 				len(fillers), rs.NumFillers)

@@ -27,6 +27,22 @@ type BenchOptions struct {
 	Workers int
 	// Log, when non-nil, receives one progress line per circuit.
 	Log io.Writer
+
+	// SweepSizes are the large single-circuit cell counts appended after
+	// the suite, each placed by the multilevel V-cycle and — up to
+	// SweepFlatMax cells — by the flat flow for comparison (default
+	// 50000 and 100000; nil runs the default, empty slice skips).
+	SweepSizes []int
+	// Million appends a 1,000,000-cell row to the sweep (multilevel
+	// only; the flat flow does not finish such a row in useful time).
+	Million bool
+	// SweepFlatMax is the largest sweep row that also gets a flat
+	// baseline (default 100000).
+	SweepFlatMax int
+	// SweepLevels is the V-cycle depth for the sweep rows (default 5).
+	SweepLevels int
+	// SkipSweep drops the scale sweep entirely (suite rows only).
+	SkipSweep bool
 }
 
 // BenchDesign places d with the full ePlace flow under a fresh recorder
@@ -46,6 +62,7 @@ func BenchDesign(d *netlist.Design, opt RunOptions) telemetry.BenchRecord {
 			Workers: opt.Workers, Telemetry: opt.Telemetry,
 		},
 		SkipDetail: opt.SkipDetail,
+		Levels:     opt.Levels,
 	})
 	elapsed := time.Since(start).Seconds()
 	rep := metrics.Measure(d.Name, string(EPlace), d, opt.GridM, elapsed, flowRes.Legal)
@@ -65,6 +82,9 @@ func BenchDesign(d *netlist.Design, opt RunOptions) telemetry.BenchRecord {
 	}
 	if flowRes.MGP.Iterations > 0 {
 		b.Iterations["mGP"] = flowRes.MGP.Iterations
+	}
+	for _, ml := range flowRes.ML {
+		b.Iterations[fmt.Sprintf("mGP/L%d", ml.Level)] = ml.Result.Iterations
 	}
 	if flowRes.CGP.Iterations > 0 {
 		b.Iterations["cGP"] = flowRes.CGP.Iterations
@@ -188,5 +208,59 @@ func BenchSuite(opt BenchOptions) *telemetry.BenchReport {
 		report.Add(b)
 	}
 	report.Sort()
+	if !opt.SkipSweep {
+		for _, b := range ScaleSweep(opt) {
+			report.Add(b)
+		}
+	}
 	return report
+}
+
+// ScaleSweep runs the large-circuit rows that make the scale trajectory
+// visible in BENCH_eplace.json: one synthetic circuit per sweep size,
+// placed by the multilevel V-cycle and — up to SweepFlatMax cells — by
+// the flat flow, so the report carries the ML-vs-flat wall-clock and
+// HPWL comparison at 10^5 cells (and 10^6 behind Million). Records are
+// named "SWEEP<cells>/flat" and "SWEEP<cells>/ml".
+func ScaleSweep(opt BenchOptions) []telemetry.BenchRecord {
+	sizes := opt.SweepSizes
+	if sizes == nil {
+		sizes = []int{50000, 100000}
+	}
+	if opt.Million {
+		sizes = append(append([]int(nil), sizes...), 1000000)
+	}
+	flatMax := opt.SweepFlatMax
+	if flatMax <= 0 {
+		flatMax = 100000
+	}
+	levels := opt.SweepLevels
+	if levels <= 0 {
+		levels = 5
+	}
+	var out []telemetry.BenchRecord
+	for _, n := range sizes {
+		spec := synth.Spec{Name: fmt.Sprintf("SWEEP%d", n), NumCells: n}
+		variants := []struct {
+			tag    string
+			levels int
+		}{{"ml", levels}}
+		if n <= flatMax {
+			variants = append([]struct {
+				tag    string
+				levels int
+			}{{"flat", 1}}, variants...)
+		}
+		for _, v := range variants {
+			d := synth.Generate(spec)
+			b := BenchDesign(d, RunOptions{Workers: opt.Workers, Levels: v.levels})
+			b.Benchmark = fmt.Sprintf("%s/%s", spec.Name, v.tag)
+			if opt.Log != nil {
+				fmt.Fprintf(opt.Log, "sweep %-14s cells=%-7d HPWL=%.4g legal=%v %.2fs\n",
+					b.Benchmark, b.Cells, b.HPWL, b.Legal, b.Seconds)
+			}
+			out = append(out, b)
+		}
+	}
+	return out
 }

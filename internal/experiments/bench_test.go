@@ -40,7 +40,7 @@ func TestBenchSuiteRecordsEnvironment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full placements")
 	}
-	rep := BenchSuite(BenchOptions{Scale: 0.05, Circuits: 1, Workers: 2})
+	rep := BenchSuite(BenchOptions{Scale: 0.05, Circuits: 1, Workers: 2, SkipSweep: true})
 	if rep.Workers != 2 {
 		t.Errorf("workers = %d, want 2", rep.Workers)
 	}
@@ -52,5 +52,39 @@ func TestBenchSuiteRecordsEnvironment(t *testing.T) {
 	}
 	if len(rep.Records) != 1 {
 		t.Errorf("records = %d, want 1", len(rep.Records))
+	}
+}
+
+// The scale sweep emits a flat and a multilevel row per size (flat only
+// up to SweepFlatMax) with per-level iteration counts on the ML rows.
+func TestScaleSweepRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placements")
+	}
+	recs := ScaleSweep(BenchOptions{
+		SweepSizes: []int{2500}, SweepFlatMax: 2500, SweepLevels: 3, Workers: 2,
+	})
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want flat+ml", len(recs))
+	}
+	if recs[0].Benchmark != "SWEEP2500/flat" || recs[1].Benchmark != "SWEEP2500/ml" {
+		t.Fatalf("record names = %q, %q", recs[0].Benchmark, recs[1].Benchmark)
+	}
+	for _, b := range recs {
+		if !b.Legal || b.Failed {
+			t.Errorf("%s: legal=%v failed=%v", b.Benchmark, b.Legal, b.Failed)
+		}
+	}
+	if recs[1].Iterations["mGP/L1"] == 0 {
+		t.Errorf("ml row missing per-level iterations: %v", recs[1].Iterations)
+	}
+	found := false
+	for _, st := range recs[1].Stages {
+		if st.Name == "mGP/L1" && st.Seconds > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ml row missing per-level stage time: %+v", recs[1].Stages)
 	}
 }

@@ -52,6 +52,9 @@ type RunOptions struct {
 	MaxIters int
 	// SkipDetail measures global placement + legalization only.
 	SkipDetail bool
+	// Levels > 1 runs the ePlace flow's multilevel V-cycle with up to
+	// that many coarsening levels (ePlace flow only).
+	Levels int
 	// Trace collects per-iteration samples (ePlace/FFTPL only).
 	Trace *core.Trace
 	// Workers is the gradient-kernel worker count (0 = all cores).

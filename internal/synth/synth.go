@@ -124,6 +124,7 @@ func Generate(spec Spec) *netlist.Design {
 	side = float64(rows) * h
 	d := netlist.New(spec.Name, geom.Rect{Hx: side, Hy: side})
 	d.TargetDensity = spec.TargetDensity
+	d.Reserve(spec.NumFixedMacros+spec.NumCells+spec.NumMovableMacros+spec.NumPads, 0, 0)
 	for r := 0; r < rows; r++ {
 		d.Rows = append(d.Rows, netlist.Row{
 			Y: float64(r) * h, Height: h, Lx: 0, Hx: side, SiteW: 1,
@@ -257,32 +258,41 @@ func buildNets(d *netlist.Design, rng *rand.Rand, cells, macros, pads []int) {
 		}
 	}
 
-	// Intra-cluster nets: ~1.2 per cell.
+	// Pre-size the net and pin arrays: every net count below is known up
+	// front and degrees average under 3 pins per net, so reserving here
+	// keeps construction free of append re-copies at million-cell scale.
 	intra := n * 12 / 10
+	inter := n * 3 / 10
+	global := n / 20
+	numNets := intra + inter + global + 4*len(macros) + len(pads)
+	d.Reserve(0, numNets, 3*numNets)
+	// members is reused across nets (Connect copies what it needs).
+	members := make([]int, 0, 16)
+
+	// Intra-cluster nets: ~1.2 per cell.
 	for k := 0; k < intra; k++ {
 		c := rng.Intn(numClusters)
 		deg := degree()
-		members := make([]int, 0, deg)
+		members = members[:0]
 		for p := 0; p < deg; p++ {
 			members = append(members, pick(c))
 		}
 		addNet(uniq(members))
 	}
 	// Neighbor-cluster nets: ~0.3 per cell.
-	inter := n * 3 / 10
 	for k := 0; k < inter; k++ {
 		c1 := rng.Intn(numClusters)
 		c2 := c1 + 1 + rng.Intn(3)
 		if c2 >= numClusters {
 			c2 = rng.Intn(numClusters)
 		}
-		addNet(uniq([]int{pick(c1), pick(c2), pick(c1)}))
+		members = append(members[:0], pick(c1), pick(c2), pick(c1))
+		addNet(uniq(members))
 	}
 	// Global nets: ~0.05 per cell, higher degree.
-	global := n / 20
 	for k := 0; k < global; k++ {
 		deg := 3 + rng.Intn(6)
-		members := make([]int, 0, deg)
+		members = members[:0]
 		for p := 0; p < deg; p++ {
 			members = append(members, cells[rng.Intn(n)])
 		}
@@ -291,7 +301,7 @@ func buildNets(d *netlist.Design, rng *rand.Rand, cells, macros, pads []int) {
 	// Macro nets: each macro talks to ~8 random cells over several nets.
 	for _, mi := range macros {
 		for k := 0; k < 4; k++ {
-			members := []int{mi}
+			members = append(members[:0], mi)
 			for p := 0; p < 2; p++ {
 				members = append(members, cells[rng.Intn(n)])
 			}
@@ -300,16 +310,26 @@ func buildNets(d *netlist.Design, rng *rand.Rand, cells, macros, pads []int) {
 	}
 	// Pad nets.
 	for _, pi := range pads {
-		addNet([]int{pi, cells[rng.Intn(n)]})
+		members = append(members[:0], pi, cells[rng.Intn(n)])
+		addNet(members)
 	}
 }
 
+// uniq deduplicates in place, preserving first-seen order. Net member
+// lists are tiny (degree <= 9), so a linear scan beats a map — the map
+// version allocated once per net, the dominant cost of building a
+// million-net circuit.
 func uniq(in []int) []int {
-	seen := map[int]bool{}
 	out := in[:0]
 	for _, v := range in {
-		if !seen[v] {
-			seen[v] = true
+		dup := false
+		for _, u := range out {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, v)
 		}
 	}

@@ -3,6 +3,7 @@ package synth
 import (
 	"math"
 	"testing"
+	"time"
 
 	"eplace/internal/netlist"
 )
@@ -187,5 +188,42 @@ func TestSuites(t *testing.T) {
 func BenchmarkGenerate10k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Generate(Spec{Name: "bench", NumCells: 10000, NumMovableMacros: 10})
+	}
+}
+
+func BenchmarkGenerate200k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(Spec{Name: "bench200k", NumCells: 200000, NumMovableMacros: 20})
+	}
+}
+
+// TestGenerateNearLinear guards the generator's scaling: building 16x
+// the cells must cost well under the ~256x a quadratic construction
+// would. Wall-clock ratios on loaded CI machines are noisy, so the
+// bound is generous (64x, i.e. O(n^1.5)) — a reintroduced quadratic
+// scan (per-net maps, pairwise overlap checks) blows past it by an
+// order of magnitude.
+func TestGenerateNearLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	run := func(n int) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for trial := 0; trial < 3; trial++ {
+			t0 := time.Now()
+			Generate(Spec{Name: "lin", NumCells: n, Seed: 1})
+			if el := time.Since(t0); el < best {
+				best = el
+			}
+		}
+		return best
+	}
+	run(4000) // warm-up
+	small := run(12500)
+	big := run(200000)
+	if ratio := float64(big) / float64(small); ratio > 64 {
+		t.Errorf("Generate(200000) / Generate(12500) = %.1fx, want near-linear (<= 64x); small=%v big=%v",
+			ratio, small, big)
 	}
 }
