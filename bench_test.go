@@ -11,6 +11,7 @@ import (
 
 	"eplace/internal/core"
 	"eplace/internal/experiments"
+	"eplace/internal/netlist"
 	"eplace/internal/synth"
 )
 
@@ -19,6 +20,17 @@ const benchScale = 0.15
 
 func benchOpt() experiments.RunOptions {
 	return experiments.RunOptions{GridM: 32, MaxIters: 1000}
+}
+
+// mustPlaceGlobal runs core.PlaceGlobal and fails the benchmark on a
+// configuration error.
+func mustPlaceGlobal(tb testing.TB, d *netlist.Design, idx []int, opt core.Options, stage string, lambdaInit float64) core.Result {
+	tb.Helper()
+	res, err := core.PlaceGlobal(d, idx, opt, stage, lambdaInit)
+	if err != nil {
+		tb.Fatalf("PlaceGlobal(%s): %v", stage, err)
+	}
+	return res
 }
 
 func ispd05Spec(name string) synth.Spec {
@@ -118,7 +130,7 @@ func BenchmarkFig7GradientBreakdown(b *testing.B) {
 		d := synth.Generate(spec)
 		experiments.MIPOnly(d)
 		core.InsertFillers(d, 2)
-		res := core.PlaceGlobal(d, d.Movable(), core.Options{GridM: 32, MaxIters: 1000}, "mGP", 0)
+		res := mustPlaceGlobal(b, d, d.Movable(), core.Options{GridM: 32, MaxIters: 1000}, "mGP", 0)
 		if res.Diverged {
 			b.Fatal("mGP diverged")
 		}
@@ -145,7 +157,7 @@ func BenchmarkAblationBacktracking(b *testing.B) {
 				d := synth.Generate(spec)
 				experiments.MIPOnly(d)
 				core.InsertFillers(d, 2)
-				res := core.PlaceGlobal(d, d.Movable(),
+				res := mustPlaceGlobal(b, d, d.Movable(),
 					core.Options{GridM: 32, MaxIters: 1000, DisableBkTrk: disable}, "mGP", 0)
 				hpwl = res.HPWL
 				diverged = res.Diverged
@@ -171,7 +183,7 @@ func BenchmarkAblationPreconditioner(b *testing.B) {
 				d := synth.Generate(spec)
 				experiments.MIPOnly(d)
 				core.InsertFillers(d, 2)
-				res := core.PlaceGlobal(d, d.Movable(),
+				res := mustPlaceGlobal(b, d, d.Movable(),
 					core.Options{GridM: 32, MaxIters: 1000, DisablePrecond: disable}, "mGP", 0)
 				hpwl, tau = res.HPWL, res.Overflow
 			}
@@ -197,7 +209,7 @@ func BenchmarkSolverComparison(b *testing.B) {
 				d := synth.Generate(spec)
 				experiments.MIPOnly(d)
 				core.InsertFillers(d, 2)
-				res := core.PlaceGlobal(d, d.Movable(),
+				res := mustPlaceGlobal(b, d, d.Movable(),
 					core.Options{GridM: 32, MaxIters: 2000, Solver: solver}, "mGP", 0)
 				iters, hpwl = res.Iterations, res.HPWL
 			}
@@ -246,7 +258,7 @@ func BenchmarkAblationAdaptiveRestart(b *testing.B) {
 				d := synth.Generate(spec)
 				experiments.MIPOnly(d)
 				core.InsertFillers(d, 2)
-				res := core.PlaceGlobal(d, d.Movable(),
+				res := mustPlaceGlobal(b, d, d.Movable(),
 					core.Options{GridM: 32, MaxIters: 1500, AdaptiveRestart: restart}, "mGP", 0)
 				hpwl, iters = res.HPWL, res.Iterations
 			}

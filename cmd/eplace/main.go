@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 
 	"eplace/internal/bookshelf"
@@ -35,6 +37,7 @@ import (
 	"eplace/internal/core"
 	"eplace/internal/metrics"
 	"eplace/internal/netlist"
+	"eplace/internal/poisson"
 	"eplace/internal/server"
 	"eplace/internal/synth"
 	"eplace/internal/telemetry"
@@ -64,6 +67,7 @@ func run(ctx context.Context) error {
 		seed     = flag.Int64("seed", 1, "synthetic circuit seed")
 		outPath  = flag.String("out", "", "output .pl path (optional)")
 		solver   = flag.String("solver", "nesterov", "global placement solver: nesterov | cg")
+		poiKind  = flag.String("poisson", "", "eDensity Poisson backend: spectral | spectral32 | multigrid (default spectral)")
 		gridM    = flag.Int("grid", 0, "bin grid size per side (power of two, 0 = auto)")
 		maxIters = flag.Int("iters", 0, "max GP iterations (0 = default 3000)")
 		workers  = flag.Int("workers", 0, "gradient-kernel workers (0 = all cores, 1 = serial)")
@@ -170,6 +174,11 @@ func run(ctx context.Context) error {
 		gp.Solver = core.SolverCG
 	} else if *solver != "nesterov" {
 		return fmt.Errorf("unknown solver %q", *solver)
+	}
+	gp.Poisson = *poiKind
+	if !slices.Contains(poisson.Kinds(), poisson.NormalizeKind(*poiKind)) {
+		return fmt.Errorf("unknown poisson backend %q (have %s)",
+			*poiKind, strings.Join(poisson.Kinds(), " | "))
 	}
 	gp.CheckpointEvery = *ckptEvery
 

@@ -38,6 +38,7 @@ func main() {
 		million  = flag.Bool("million", false, "add a 1M-cell multilevel row to -exp bench")
 		levels   = flag.Int("levels", 0, "V-cycle depth for the bench scale sweep (0 = default 5)")
 		noSweep  = flag.Bool("no-sweep", false, "skip the large-circuit scale sweep in -exp bench")
+		poiKind  = flag.String("poisson", "", "eDensity Poisson backend: spectral | spectral32 | multigrid (bench default spectral32)")
 
 		jobs       = flag.Int("jobs", 0, "job count for -exp service (0 = default 200)")
 		concurrent = flag.Int("concurrent", 0, "scheduler slots for -exp service (0 = default 4)")
@@ -45,7 +46,7 @@ func main() {
 	)
 	flag.Parse()
 
-	opt := experiments.RunOptions{GridM: *gridM, MaxIters: *maxIters}
+	opt := experiments.RunOptions{GridM: *gridM, MaxIters: *maxIters, Poisson: *poiKind}
 	out := io.Writer(os.Stdout)
 	progress := io.Writer(os.Stderr)
 	if *quiet {
@@ -84,6 +85,7 @@ func main() {
 			report := experiments.BenchSuite(experiments.BenchOptions{
 				Scale: *scale, Circuits: *circuits, Workers: *workers, Log: progress,
 				Million: *million, SweepLevels: *levels, SkipSweep: *noSweep,
+				Poisson: *poiKind,
 			})
 			if err := report.WriteFile(*benchOut); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *benchOut, err)

@@ -138,6 +138,13 @@ type State struct {
 	Fixed []bool
 	// MixedSize mirrors FlowResult.MixedSize at capture time.
 	MixedSize bool
+	// Poisson is the normalized eDensity Poisson backend name the flow
+	// ran with ("spectral", "spectral32", "multigrid"). The backends are
+	// numerically distinct, so resuming a trajectory under a different
+	// backend would silently break bitwise reproducibility; the flow
+	// rejects the mismatch instead. Snapshots written before the field
+	// existed decode as "" and are treated as the spectral default.
+	Poisson string
 	// MGPIterations and MGPFinalLambda are mGP outputs that seed the
 	// cGP penalty factor; valid from PhasePostMGP on.
 	MGPIterations  int

@@ -22,7 +22,7 @@ func TestNesterovIterationAllocFree(t *testing.T) {
 	opt.defaults()
 	rec := telemetry.New()
 	rec.SetStage("mGP")
-	e := newEngine(d, idx, opt, rec)
+	e := mustEngine(t, d, idx, opt, rec)
 	e.stage = "mGP"
 
 	v0 := d.Positions(idx)

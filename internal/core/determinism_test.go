@@ -3,9 +3,11 @@ package core
 import (
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"eplace/internal/checkpoint"
+	"eplace/internal/poisson"
 	"eplace/internal/synth"
 	"eplace/internal/telemetry"
 )
@@ -239,5 +241,72 @@ func TestFlowResumeRejectsForeignDesign(t *testing.T) {
 	fo.Resume = st
 	if _, err := Place(other, fo); err == nil {
 		t.Error("resume onto a different design succeeded; want fingerprint error")
+	}
+}
+
+// TestFlowResumeRejectsBackendMismatch: the Poisson backends produce
+// numerically distinct trajectories, so a snapshot taken under one
+// backend must not silently continue under another.
+func TestFlowResumeRejectsBackendMismatch(t *testing.T) {
+	_, mgr := runCheckpointedFlow(t, t.TempDir(), 0)
+	st, err := mgr.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Poisson != poisson.KindSpectral {
+		t.Fatalf("snapshot backend = %q, want %q", st.Poisson, poisson.KindSpectral)
+	}
+	d := synth.Generate(detSpecs()[2])
+	fo := detFlowOpts(1)
+	fo.GP.Poisson = poisson.KindMultigrid
+	fo.Resume = st
+	_, err = Place(d, fo)
+	if err == nil || !strings.Contains(err.Error(), "poisson backend") {
+		t.Errorf("resume under a different backend: err = %v, want backend-mismatch error", err)
+	}
+	// The matching backend (spelled explicitly rather than as the ""
+	// default) resumes fine.
+	d2 := synth.Generate(detSpecs()[2])
+	fo2 := detFlowOpts(1)
+	fo2.GP.Poisson = poisson.KindSpectral
+	fo2.Resume = st
+	if _, err := Place(d2, fo2); err != nil {
+		t.Errorf("resume under the matching backend failed: %v", err)
+	}
+}
+
+// TestFlowBitwiseDeterminismPerBackend extends the headline determinism
+// guarantee to the non-default Poisson backends: within each backend the
+// flow is bitwise-identical across runs and worker counts 1, 2 and 7.
+func TestFlowBitwiseDeterminismPerBackend(t *testing.T) {
+	spec := detSpecs()[2]
+	for _, kind := range []string{poisson.KindSpectral32, poisson.KindMultigrid} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			opts := func(workers int) FlowOptions {
+				fo := detFlowOpts(workers)
+				fo.GP.Poisson = kind
+				return fo
+			}
+			d0 := synth.Generate(spec)
+			ref, err := Place(d0, opts(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 7} {
+				d := synth.Generate(spec)
+				res, err := Place(d, opts(workers))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if math.Float64bits(res.HPWL) != math.Float64bits(ref.HPWL) {
+					t.Errorf("workers=%d: HPWL %v differs from reference %v",
+						workers, res.HPWL, ref.HPWL)
+				}
+				if ok, why := telemetry.DigestsEqual(ref.Digests, res.Digests); !ok {
+					t.Errorf("workers=%d: digests differ: %s", workers, why)
+				}
+			}
+		})
 	}
 }

@@ -45,6 +45,9 @@ type engine struct {
 	posBuf []float64 // end-of-stage clamp buffer (avoids Positions alloc)
 
 	stage string
+	// poissonSpan is the per-backend solve span name ("poisson/<kind>"),
+	// built once so the per-iteration gradient stays allocation-free.
+	poissonSpan string
 
 	// rec aggregates the per-kernel wall times as telemetry spans
 	// (stage/wirelength, stage/density — the Fig. 7 breakdown). It is
@@ -54,7 +57,7 @@ type engine struct {
 	rec *telemetry.Recorder
 }
 
-func newEngine(d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorder) *engine {
+func newEngine(d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorder) (*engine, error) {
 	m := opt.GridM
 	if m == 0 {
 		m = grid.ChooseM(len(d.Cells))
@@ -84,12 +87,16 @@ func newEngine(d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorde
 	// fixed the topology and extents for the whole stage; every hot
 	// kernel below shares it.
 	cv := d.Compile()
+	dm, err := density.NewModelCompiled(cv, m, opt.Workers, opt.Poisson)
+	if err != nil {
+		return nil, err
+	}
 	e := &engine{
 		d:      d,
 		cv:     cv,
 		idx:    idx,
 		wl:     wirelength.NewCompiled(cv, idx, 1),
-		dm:     density.NewModelCompiled(cv, m, opt.Workers),
+		dm:     dm,
 		opt:    opt,
 		rec:    rec,
 		degree: make([]float64, len(idx)),
@@ -101,6 +108,7 @@ func newEngine(d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorde
 		posBuf: make([]float64, 2*len(idx)),
 	}
 	e.wl.Workers = opt.Workers
+	e.poissonSpan = "poisson/" + dm.Backend()
 	binArea := e.dm.Grid.BinArea()
 	for k, ci := range idx {
 		c := &d.Cells[ci]
@@ -113,7 +121,7 @@ func newEngine(d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorde
 		e.halfW[k] = c.W / 2
 		e.halfH[k] = c.H / 2
 	}
-	return e
+	return e, nil
 }
 
 // clamp keeps every cell's center inside the region, respecting size.
@@ -136,6 +144,9 @@ func (e *engine) gradient(v, g []float64) {
 	e.dm.Refresh(e.idx)
 	e.dm.Gradient(e.idx, e.gd)
 	e.rec.AddSpanTime(e.stage, "density", time.Since(t0))
+	// Split out the Poisson solve under its backend's name, so the
+	// benchmark reports show which backend carried the density share.
+	e.rec.AddSpanTime(e.stage, e.poissonSpan, e.dm.LastSolveTime())
 	e.rec.Count("engine/grad_evals", 1)
 
 	n := len(e.idx)
@@ -201,8 +212,10 @@ func (e *engine) updateGamma(tau float64) {
 // PlaceGlobal runs one global placement (the mGP or cGP loop) over the
 // movable cells idx of d, which must already hold the starting
 // positions. lambdaInit <= 0 selects automatic balancing. It returns
-// the result; final positions are written back to d.
-func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambdaInit float64) Result {
+// the result; final positions are written back to d. It errors without
+// touching d on an invalid configuration (unknown Poisson backend,
+// bad grid size).
+func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambdaInit float64) (Result, error) {
 	return PlaceGlobalContext(context.Background(), d, idx, opt, stage, lambdaInit)
 }
 
@@ -215,13 +228,13 @@ func PlaceGlobal(d *netlist.Design, idx []int, opt Options, stage string, lambda
 // is resumable), writes the current positions back to d, and returns
 // with Result.Canceled set. A resume from that snapshot continues the
 // trajectory bitwise-identically to the uninterrupted run.
-func PlaceGlobalContext(ctx context.Context, d *netlist.Design, idx []int, opt Options, stage string, lambdaInit float64) Result {
+func PlaceGlobalContext(ctx context.Context, d *netlist.Design, idx []int, opt Options, stage string, lambdaInit float64) (Result, error) {
 	opt.defaults()
 	start := time.Now()
 	var res Result
 	if len(idx) == 0 {
 		res.HPWL = d.HPWL()
-		return res
+		return res, nil
 	}
 	// The engine always records kernel spans; a private sink-less
 	// recorder stands in when telemetry is disabled so the Result's
@@ -234,7 +247,10 @@ func PlaceGlobalContext(ctx context.Context, d *netlist.Design, idx []int, opt O
 	wl0 := rec.SpanTime(stage, "wirelength")
 	den0 := rec.SpanTime(stage, "density")
 	prevWL, prevDen := wl0, den0
-	e := newEngine(d, idx, opt, rec)
+	e, err := newEngine(d, idx, opt, rec)
+	if err != nil {
+		return res, err
+	}
 	e.stage = stage
 
 	seedStep := 0.1 * math.Min(e.dm.Grid.BinW, e.dm.Grid.BinH)
@@ -474,7 +490,7 @@ func PlaceGlobalContext(ctx context.Context, d *netlist.Design, idx []int, opt O
 	res.WirelengthTime = rec.SpanTime(stage, "wirelength") - wl0
 	res.Total = time.Since(start)
 	res.OtherTime = res.Total - res.DensityTime - res.WirelengthTime
-	return res
+	return res, nil
 }
 
 // sumAbs returns the L1 norm of x (gradient magnitudes for samples).

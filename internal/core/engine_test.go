@@ -9,6 +9,17 @@ import (
 	"eplace/internal/netlist"
 )
 
+// mustPlaceGlobal runs PlaceGlobal and fails the test on a
+// configuration error (the tests here all use valid configurations).
+func mustPlaceGlobal(tb testing.TB, d *netlist.Design, idx []int, opt Options, stage string, lambdaInit float64) Result {
+	tb.Helper()
+	res, err := PlaceGlobal(d, idx, opt, stage, lambdaInit)
+	if err != nil {
+		tb.Fatalf("PlaceGlobal(%s): %v", stage, err)
+	}
+	return res
+}
+
 // testCircuit builds a clustered synthetic circuit: nCells std cells in
 // clusters with local nets plus global nets and a pad ring.
 func testCircuit(nCells int, seed int64) *netlist.Design {
@@ -121,7 +132,7 @@ func TestPlaceGlobalReducesOverflow(t *testing.T) {
 	InsertFillers(d, 3)
 	idx := d.Movable()
 	opt := Options{MaxIters: 800, GridM: 32}
-	res := PlaceGlobal(d, idx, opt, "mGP", 0)
+	res := mustPlaceGlobal(t, d, idx, opt, "mGP", 0)
 	if res.Diverged {
 		t.Fatal("placement diverged")
 	}
@@ -147,7 +158,7 @@ func TestPlaceGlobalKeepsWirelengthReasonable(t *testing.T) {
 	// relative to the random layout.
 	randomHPWL := d.HPWL()
 	InsertFillers(d, 3)
-	res := PlaceGlobal(d, d.Movable(), Options{MaxIters: 800, GridM: 32}, "mGP", 0)
+	res := mustPlaceGlobal(t, d, d.Movable(), Options{MaxIters: 800, GridM: 32}, "mGP", 0)
 	if res.Diverged {
 		t.Fatal("diverged")
 	}
@@ -161,7 +172,7 @@ func TestTraceRecordsProgress(t *testing.T) {
 	d := testCircuit(200, 5)
 	InsertFillers(d, 3)
 	tr := &Trace{}
-	res := PlaceGlobal(d, d.Movable(), Options{MaxIters: 300, GridM: 32, Trace: tr}, "mGP", 0)
+	res := mustPlaceGlobal(t, d, d.Movable(), Options{MaxIters: 300, GridM: 32, Trace: tr}, "mGP", 0)
 	if len(tr.Samples) != res.Iterations {
 		t.Errorf("trace has %d samples, result says %d iterations", len(tr.Samples), res.Iterations)
 	}
@@ -178,7 +189,7 @@ func TestTraceRecordsProgress(t *testing.T) {
 func TestCGSolverAlsoConverges(t *testing.T) {
 	d := testCircuit(200, 6)
 	InsertFillers(d, 3)
-	res := PlaceGlobal(d, d.Movable(), Options{
+	res := mustPlaceGlobal(t, d, d.Movable(), Options{
 		MaxIters: 1200, GridM: 32, Solver: SolverCG, TargetOverflow: 0.15,
 	}, "mGP", 0)
 	if res.Diverged {
@@ -211,7 +222,7 @@ func TestMixedSizeMacrosDoNotOscillate(t *testing.T) {
 		}
 	}
 	InsertFillers(d, 3)
-	res := PlaceGlobal(d, d.Movable(), Options{MaxIters: 900, GridM: 32}, "mGP", 0)
+	res := mustPlaceGlobal(t, d, d.Movable(), Options{MaxIters: 900, GridM: 32}, "mGP", 0)
 	if res.Diverged {
 		t.Fatal("mixed-size placement diverged")
 	}
@@ -251,9 +262,9 @@ func TestDisablePreconditionerDegrades(t *testing.T) {
 		return d
 	}
 	d1 := build()
-	with := PlaceGlobal(d1, d1.Movable(), Options{MaxIters: 600, GridM: 32}, "mGP", 0)
+	with := mustPlaceGlobal(t, d1, d1.Movable(), Options{MaxIters: 600, GridM: 32}, "mGP", 0)
 	d2 := build()
-	without := PlaceGlobal(d2, d2.Movable(), Options{MaxIters: 600, GridM: 32, DisablePrecond: true}, "mGP", 0)
+	without := mustPlaceGlobal(t, d2, d2.Movable(), Options{MaxIters: 600, GridM: 32, DisablePrecond: true}, "mGP", 0)
 	// The unpreconditioned run must be clearly worse: diverged, not
 	// converged, or much longer wirelength (Sec. V-D reports failures on
 	// 9/16 benchmarks and +24.63% wirelength on the rest).
@@ -269,7 +280,7 @@ func TestDisablePreconditionerDegrades(t *testing.T) {
 func TestPlaceGlobalEmptyMovable(t *testing.T) {
 	d := netlist.New("empty", geom.Rect{Hx: 10, Hy: 10})
 	d.AddCell(netlist.Cell{W: 2, H: 2, X: 5, Y: 5, Fixed: true})
-	res := PlaceGlobal(d, nil, Options{}, "mGP", 0)
+	res := mustPlaceGlobal(t, d, nil, Options{}, "mGP", 0)
 	if res.Diverged || res.Iterations != 0 {
 		t.Errorf("empty placement: %+v", res)
 	}
@@ -278,7 +289,7 @@ func TestPlaceGlobalEmptyMovable(t *testing.T) {
 func TestTimingBreakdownPopulated(t *testing.T) {
 	d := testCircuit(200, 11)
 	InsertFillers(d, 3)
-	res := PlaceGlobal(d, d.Movable(), Options{MaxIters: 100, GridM: 32, TargetOverflow: 0.5}, "mGP", 0)
+	res := mustPlaceGlobal(t, d, d.Movable(), Options{MaxIters: 100, GridM: 32, TargetOverflow: 0.5}, "mGP", 0)
 	if res.DensityTime <= 0 || res.WirelengthTime <= 0 {
 		t.Errorf("timing breakdown empty: %+v", res)
 	}

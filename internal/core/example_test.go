@@ -38,7 +38,7 @@ func ExamplePlaceGlobal() {
 	d := synth.Generate(synth.Spec{Name: "gp-example", NumCells: 300})
 	core.InsertFillers(d, 1)
 	tr := &core.Trace{}
-	res := core.PlaceGlobal(d, d.Movable(), core.Options{
+	res, _ := core.PlaceGlobal(d, d.Movable(), core.Options{
 		GridM: 32, MaxIters: 600, Trace: tr,
 	}, "mGP", 0)
 	fmt.Println("converged:", res.Overflow <= 0.11 && !res.Diverged)

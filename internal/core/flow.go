@@ -12,6 +12,7 @@ import (
 	"eplace/internal/detail"
 	"eplace/internal/legalize"
 	"eplace/internal/netlist"
+	"eplace/internal/poisson"
 	"eplace/internal/qp"
 	"eplace/internal/telemetry"
 )
@@ -176,12 +177,13 @@ func resumePhase(phase string) (int, bool, error) {
 // start, not recomputed here: the flow itself mutates structure the
 // fingerprint covers (cDP builds rows when the design has none), and a
 // resume always validates against a fresh input-shaped design.
-func flowState(d *netlist.Design, fp uint64, phase string, numFillers int, res *FlowResult, golden *telemetry.GoldenTrace) *checkpoint.State {
+func flowState(d *netlist.Design, fp uint64, phase, poissonKind string, numFillers int, res *FlowResult, golden *telemetry.GoldenTrace) *checkpoint.State {
 	st := &checkpoint.State{
 		Phase:          phase,
 		DesignName:     d.Name,
 		Fingerprint:    fp,
 		MixedSize:      res.MixedSize,
+		Poisson:        poissonKind,
 		MGPIterations:  res.MGP.Iterations,
 		MGPFinalLambda: res.MGP.FinalLambda,
 		Golden:         golden.State(),
@@ -253,12 +255,21 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 	// covers (row construction in cDP); every snapshot carries this
 	// input-design value.
 	fp := checkpoint.Fingerprint(d)
+	// poissonKind is the normalized backend name stamped into every
+	// snapshot and compared on resume: the backends produce numerically
+	// distinct trajectories, so switching mid-run would break the
+	// bitwise-reproducibility contract.
+	poissonKind := poisson.NormalizeKind(opt.GP.Poisson)
 	startPh := phMIP
 	midGP := false
 	rs := opt.Resume
 	if rs != nil {
 		if err := rs.Validate(d); err != nil {
 			return res, err
+		}
+		if snap := poisson.NormalizeKind(rs.Poisson); snap != poissonKind {
+			return res, fmt.Errorf("core: snapshot was taken with poisson backend %q but this run selects %q; resume with the matching backend (-poisson=%s) or restart from scratch",
+				snap, poissonKind, snap)
 		}
 		var err error
 		startPh, midGP, err = resumePhase(rs.Phase)
@@ -309,7 +320,7 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 		if opt.Checkpoint == nil {
 			return nil
 		}
-		return opt.Checkpoint.Save(flowState(d, fp, phase, len(fillers), &res, golden))
+		return opt.Checkpoint.Save(flowState(d, fp, phase, poissonKind, len(fillers), &res, golden))
 	}
 	canceled := canceledAt
 	// gpSink wraps mid-stage GP snapshots with flow context. Save
@@ -323,7 +334,7 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 			return nil
 		}
 		return func(gs *checkpoint.GPState) {
-			st := flowState(d, fp, phase, len(fillers), &res, golden)
+			st := flowState(d, fp, phase, poissonKind, len(fillers), &res, golden)
 			st.GP = gs
 			if err := opt.Checkpoint.Save(st); err != nil && ckptErr == nil {
 				ckptErr = err
@@ -410,11 +421,15 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 		if midGP && startPh == phMGP {
 			gpOpt.ResumeGP = rs.GP
 		}
-		res.MGP = PlaceGlobalContext(ctx, d, gpIdx, gpOpt, "mGP", 0)
+		var gpErr error
+		res.MGP, gpErr = PlaceGlobalContext(ctx, d, gpIdx, gpOpt, "mGP", 0)
 		if opt.MacroHalo > 0 {
 			inflateMacros(d, movMacros, -opt.MacroHalo)
 		}
 		res.addStage(rec, "mGP", time.Since(t0))
+		if gpErr != nil {
+			return res, gpErr
+		}
 		if ckptErr != nil {
 			return res, ckptErr
 		}
@@ -474,9 +489,12 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 				if midGP && startPh == phCGPFiller {
 					fOpt.ResumeGP = rs.GP
 				}
-				fRes := PlaceGlobalContext(ctx, d, fillers, fOpt, "cGP-filler", 1)
+				fRes, gpErr := PlaceGlobalContext(ctx, d, fillers, fOpt, "cGP-filler", 1)
 				for _, ci := range stdCells {
 					d.Cells[ci].Fixed = false
+				}
+				if gpErr != nil {
+					return res, gpErr
 				}
 				if ckptErr != nil {
 					return res, ckptErr
@@ -501,8 +519,12 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 			if midGP && startPh == phCGP {
 				gpOpt.ResumeGP = rs.GP
 			}
-			res.CGP = PlaceGlobalContext(ctx, d, cgpIdx, gpOpt, "cGP", lambdaInit)
+			var gpErr error
+			res.CGP, gpErr = PlaceGlobalContext(ctx, d, cgpIdx, gpOpt, "cGP", lambdaInit)
 			res.addStage(rec, "cGP", time.Since(t0))
+			if gpErr != nil {
+				return res, gpErr
+			}
 			if ckptErr != nil {
 				return res, ckptErr
 			}

@@ -9,6 +9,7 @@ import (
 	"eplace/internal/checkpoint"
 	"eplace/internal/cluster"
 	"eplace/internal/netlist"
+	"eplace/internal/poisson"
 	"eplace/internal/qp"
 	"eplace/internal/telemetry"
 )
@@ -108,6 +109,7 @@ func (p *mlPrelude) state(phase string, level int, ld *netlist.Design, numFiller
 		DesignName:  p.d.Name,
 		Fingerprint: p.fp,
 		MixedSize:   p.res.MixedSize,
+		Poisson:     poisson.NormalizeKind(p.opt.GP.Poisson),
 		Level:       level,
 		Golden:      p.golden.State(),
 	}
@@ -240,12 +242,15 @@ func (p *mlPrelude) run(rs *checkpoint.State) error {
 		// mature penalty keeps it from contracting (~10% worse HPWL).
 		idx := append(append([]int(nil), movable...), fillers...)
 		t0 := time.Now()
-		lr := PlaceGlobalContext(p.ctx, ld, idx, gpOpt, stage, 0)
+		lr, gpErr := PlaceGlobalContext(p.ctx, ld, idx, gpOpt, stage, 0)
 		if p.opt.MacroHalo > 0 {
 			inflateMacros(ld, movMacros, -p.opt.MacroHalo)
 		}
 		p.res.addStage(p.rec, stage, time.Since(t0))
 		p.res.ML = append(p.res.ML, MLLevel{Level: k, Cells: len(ld.Cells) - len(fillers), Result: lr})
+		if gpErr != nil {
+			return gpErr
+		}
 		if p.ckptErr != nil {
 			return p.ckptErr
 		}

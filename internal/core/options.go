@@ -44,6 +44,12 @@ type Options struct {
 	// Results are bitwise-identical for every setting; only wall-clock
 	// time changes.
 	Workers int
+	// Poisson selects the density model's Poisson backend by name
+	// (poisson.Kinds: "spectral", "spectral32", "multigrid"); "" selects
+	// spectral. Within one backend results are bitwise-identical across
+	// worker counts; across backends they differ by the backend's
+	// approximation error.
+	Poisson string
 
 	// DisableBkTrk turns off steplength backtracking (Sec. V-C ablation).
 	DisableBkTrk bool

@@ -11,9 +11,19 @@ import (
 	"eplace/internal/telemetry"
 )
 
+// mustEngine builds the stage engine or fails the test.
+func mustEngine(tb testing.TB, d *netlist.Design, idx []int, opt Options, rec *telemetry.Recorder) *engine {
+	tb.Helper()
+	e, err := newEngine(d, idx, opt, rec)
+	if err != nil {
+		tb.Fatalf("newEngine: %v", err)
+	}
+	return e
+}
+
 func TestGammaSchedule(t *testing.T) {
 	d := testCircuit(100, 31)
-	e := newEngine(d, d.Movable(), Options{GridM: 32}, telemetry.New())
+	e := mustEngine(t, d, d.Movable(), Options{GridM: 32}, telemetry.New())
 	bw := math.Min(e.dm.Grid.BinW, e.dm.Grid.BinH)
 	// At tau = 1: gamma = 8*binW*10^{0.9*20/9 - 1} = 8*binW*10.
 	e.updateGamma(1.0)
@@ -37,7 +47,7 @@ func TestGammaSchedule(t *testing.T) {
 func TestLambdaInitBalancesGradients(t *testing.T) {
 	d := testCircuit(200, 32)
 	idx := d.Movable()
-	e := newEngine(d, idx, Options{GridM: 32}, telemetry.New())
+	e := mustEngine(t, d, idx, Options{GridM: 32}, telemetry.New())
 	v := d.Positions(idx)
 	e.initLambda(v)
 	if e.lambda <= 0 || math.IsInf(e.lambda, 0) || math.IsNaN(e.lambda) {
@@ -62,7 +72,7 @@ func TestPlaceGlobalDeterministic(t *testing.T) {
 		d := testCircuit(200, 33)
 		InsertFillers(d, 3)
 		idx := d.Movable()
-		PlaceGlobal(d, idx, Options{GridM: 32, MaxIters: 150, TargetOverflow: 0.3}, "mGP", 0)
+		mustPlaceGlobal(t, d, idx, Options{GridM: 32, MaxIters: 150, TargetOverflow: 0.3}, "mGP", 0)
 		return d.Positions(idx)
 	}
 	a := run()
@@ -94,7 +104,7 @@ func TestPreconditionerFloorsAtTinyLambda(t *testing.T) {
 	// preconditioner must hit its floor rather than divide by ~zero.
 	d.AddCell(netlistCell(1, 1, 5, 5))
 	idx := d.Movable()
-	e := newEngine(d, idx, Options{GridM: 32}, telemetry.New())
+	e := mustEngine(t, d, idx, Options{GridM: 32}, telemetry.New())
 	e.lambda = 1e-12
 	v := d.Positions(idx)
 	g := make([]float64, len(v))

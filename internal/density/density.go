@@ -14,6 +14,7 @@ package density
 
 import (
 	"math"
+	"time"
 
 	"eplace/internal/grid"
 	"eplace/internal/netlist"
@@ -34,8 +35,11 @@ import (
 // nothing at workers <= 1 (and only goroutine-spawn bookkeeping beyond
 // that).
 type Model struct {
-	Grid   *grid.Grid
-	Solver *poisson.Solver
+	Grid *grid.Grid
+	// Solver is the pluggable Poisson backend (spectral float64 by
+	// default; see poisson.Kinds). Its field planes are re-fetched into
+	// ex/ey after every solve — backends may remap them on fallback.
+	Solver poisson.Backend
 	d      *netlist.Design
 	cv     *netlist.Compiled
 	// ownView marks a privately compiled view that must re-sync from the
@@ -46,6 +50,11 @@ type Model struct {
 	binAreaInv float64
 	energy     float64
 	workers    int
+	// Field planes from the backend's latest solve (grid units).
+	ex, ey []float64
+	// solveTime is the wall time of the latest Poisson solve + energy
+	// evaluation, for per-backend telemetry spans.
+	solveTime time.Duration
 
 	// Per-call inputs for the persistent Gradient closure (closures
 	// passed to parallel.For escape; capturing locals would allocate
@@ -56,9 +65,11 @@ type Model struct {
 }
 
 // NewModel builds a density model over design d with an m x m grid
-// (m a power of two, e.g. grid.ChooseM) using all cores. Fixed cells
-// are rasterized once; call Refresh whenever movable positions change.
-func NewModel(d *netlist.Design, m int) *Model {
+// (m a power of two, e.g. grid.ChooseM) using all cores and the default
+// spectral float64 backend. Fixed cells are rasterized once; call
+// Refresh whenever movable positions change. It errors on an invalid
+// grid size.
+func NewModel(d *netlist.Design, m int) (*Model, error) {
 	return NewModelWorkers(d, m, 0)
 }
 
@@ -66,24 +77,30 @@ func NewModel(d *netlist.Design, m int) *Model {
 // rasterization, force and Poisson kernels; workers <= 0 selects all
 // cores, 1 runs fully serial. The model compiles a private view of d
 // and re-syncs it from the Cell structs on every Refresh.
-func NewModelWorkers(d *netlist.Design, m, workers int) *Model {
-	return newModel(d.Compile(), m, workers, true)
+func NewModelWorkers(d *netlist.Design, m, workers int) (*Model, error) {
+	return newModel(d.Compile(), m, workers, poisson.KindSpectral, true)
 }
 
 // NewModelCompiled builds a density model over a caller-owned compiled
-// view. The caller keeps the view's positions current (the engine
+// view with the named Poisson backend (poisson.Kinds; "" selects
+// spectral). The caller keeps the view's positions current (the engine
 // writes them once per iteration via Compiled.SetPositions); Refresh
-// performs no struct-to-SoA sync.
-func NewModelCompiled(cv *netlist.Compiled, m, workers int) *Model {
-	return newModel(cv, m, workers, false)
+// performs no struct-to-SoA sync. It errors on an invalid grid size or
+// an unknown backend kind.
+func NewModelCompiled(cv *netlist.Compiled, m, workers int, kind string) (*Model, error) {
+	return newModel(cv, m, workers, kind, false)
 }
 
-func newModel(cv *netlist.Compiled, m, workers int, ownView bool) *Model {
+func newModel(cv *netlist.Compiled, m, workers int, kind string, ownView bool) (*Model, error) {
 	d := cv.Design()
+	solver, err := poisson.NewBackend(kind, m, workers)
+	if err != nil {
+		return nil, err
+	}
 	g := grid.New(d.Region, m)
 	md := &Model{
 		Grid:       g,
-		Solver:     poisson.NewSolverWorkers(m, workers),
+		Solver:     solver,
 		d:          d,
 		cv:         cv,
 		ownView:    ownView,
@@ -106,7 +123,7 @@ func newModel(cv *netlist.Compiled, m, workers int, ownView bool) *Model {
 			grad[k+n] = -2 * fy / md.Grid.BinH
 		}
 	}
-	return md
+	return md, nil
 }
 
 // Refresh re-rasterizes the movable cells listed in idx (fillers go to
@@ -123,12 +140,22 @@ func (md *Model) Refresh(idx []int) {
 	for b := range md.rho {
 		md.rho[b] *= md.binAreaInv
 	}
+	t0 := time.Now()
 	md.Solver.Solve(md.rho)
 	md.energy = md.Solver.Energy(md.rho)
+	md.solveTime = time.Since(t0)
+	_, md.ex, md.ey = md.Solver.Planes()
 }
 
 // Energy returns N(v) for the last Refresh.
 func (md *Model) Energy() float64 { return md.energy }
+
+// Backend returns the Poisson backend's kind name (telemetry labels).
+func (md *Model) Backend() string { return md.Solver.Name() }
+
+// LastSolveTime returns the wall time the latest Refresh spent in the
+// Poisson solve + energy evaluation, for per-backend kernel spans.
+func (md *Model) LastSolveTime() time.Duration { return md.solveTime }
 
 // Overflow returns the density overflow tau against rhoT for the last
 // Refresh (movable cells only; fillers excluded).
@@ -198,8 +225,8 @@ func (md *Model) force(cx, cy, w, h float64) (fx, fy float64) {
 				continue
 			}
 			q := ox * oy * chargeScale
-			fx += q * md.Solver.Ex[row+i]
-			fy += q * md.Solver.Ey[row+i]
+			fx += q * md.ex[row+i]
+			fy += q * md.ey[row+i]
 		}
 	}
 	return fx, fy

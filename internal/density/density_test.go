@@ -22,9 +22,19 @@ func newDesign(n int, seed int64) (*netlist.Design, []int) {
 	return d, idx
 }
 
+// mustModel builds a spectral-backed all-core model or fails the test.
+func mustModel(tb testing.TB, d *netlist.Design, m int) *Model {
+	tb.Helper()
+	md, err := NewModel(d, m)
+	if err != nil {
+		tb.Fatalf("NewModel(m=%d): %v", m, err)
+	}
+	return md
+}
+
 func TestEnergyPositiveWhenClustered(t *testing.T) {
 	d, idx := newDesign(40, 1)
-	md := NewModel(d, 32)
+	md := mustModel(t, d, 32)
 	md.Refresh(idx)
 	if md.Energy() <= 0 {
 		t.Errorf("clustered energy = %v, want > 0", md.Energy())
@@ -33,7 +43,7 @@ func TestEnergyPositiveWhenClustered(t *testing.T) {
 
 func TestEnergyDropsWhenSpread(t *testing.T) {
 	d, idx := newDesign(64, 2)
-	md := NewModel(d, 32)
+	md := mustModel(t, d, 32)
 	md.Refresh(idx)
 	clustered := md.Energy()
 	// Spread the same cells uniformly over the region.
@@ -54,7 +64,7 @@ func TestGradientPushesApart(t *testing.T) {
 	a := d.AddCell(netlist.Cell{W: 8, H: 8, X: 30, Y: 32})
 	b := d.AddCell(netlist.Cell{W: 8, H: 8, X: 34, Y: 32}) // overlapping to the right
 	idx := []int{a, b}
-	md := NewModel(d, 32)
+	md := mustModel(t, d, 32)
 	md.Refresh(idx)
 	grad := make([]float64, 4)
 	md.Gradient(idx, grad)
@@ -69,7 +79,7 @@ func TestGradientPushesApart(t *testing.T) {
 
 func TestGradientMatchesNumericDerivative(t *testing.T) {
 	d, idx := newDesign(30, 3)
-	md := NewModel(d, 32)
+	md := mustModel(t, d, 32)
 	md.Refresh(idx)
 	grad := make([]float64, 2*len(idx))
 	md.Gradient(idx, grad)
@@ -125,7 +135,7 @@ func TestFixedCellsRepelMovable(t *testing.T) {
 	d.AddCell(netlist.Cell{W: 24, H: 24, X: 20, Y: 32, Kind: netlist.Macro, Fixed: true})
 	c := d.AddCell(netlist.Cell{W: 4, H: 4, X: 33, Y: 32})
 	idx := []int{c}
-	md := NewModel(d, 32)
+	md := mustModel(t, d, 32)
 	md.Refresh(idx)
 	grad := make([]float64, 2)
 	md.Gradient(idx, grad)
@@ -146,7 +156,7 @@ func TestFillersCountedInChargeNotOverflow(t *testing.T) {
 			W: 6, H: 6, X: 32, Y: 32, Kind: netlist.Filler,
 		}))
 	}
-	md := NewModel(d, 32)
+	md := mustModel(t, d, 32)
 	md.Refresh(idx)
 	// Overflow sees only the single movable cell: one 6x6 cell in a
 	// 64x64 region cannot overflow target density 1.0 by much.
@@ -164,7 +174,7 @@ func TestFillersCountedInChargeNotOverflow(t *testing.T) {
 
 func TestRefreshIsIdempotent(t *testing.T) {
 	d, idx := newDesign(20, 5)
-	md := NewModel(d, 32)
+	md := mustModel(t, d, 32)
 	md.Refresh(idx)
 	e1 := md.Energy()
 	md.Refresh(idx)
@@ -184,7 +194,7 @@ func TestGradientZeroAtUniform(t *testing.T) {
 			}))
 		}
 	}
-	md := NewModel(d, 16)
+	md := mustModel(t, d, 16)
 	md.Refresh(idx)
 	grad := make([]float64, 2*len(idx))
 	md.Gradient(idx, grad)
@@ -215,7 +225,7 @@ func TestGradientZeroAtUniform(t *testing.T) {
 
 func BenchmarkRefreshAndGradient(b *testing.B) {
 	d, idx := newDesign(2000, 9)
-	md := NewModel(d, 64)
+	md := mustModel(b, d, 64)
 	grad := make([]float64, 2*len(idx))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -29,6 +29,27 @@ func serialRefresh(md *Model, idx []int) {
 	}
 	md.Solver.Solve(md.rho)
 	md.energy = md.Solver.Energy(md.rho)
+	_, md.ex, md.ey = md.Solver.Planes()
+}
+
+// mustModelWorkers builds a spectral-backed model or fails the test.
+func mustModelWorkers(tb testing.TB, d *netlist.Design, m, workers int) *Model {
+	tb.Helper()
+	md, err := NewModelWorkers(d, m, workers)
+	if err != nil {
+		tb.Fatalf("NewModelWorkers(m=%d, workers=%d): %v", m, workers, err)
+	}
+	return md
+}
+
+// mustPoissonSolver builds a float64 spectral solver or fails the test.
+func mustPoissonSolver(tb testing.TB, m, workers int) *poisson.Solver {
+	tb.Helper()
+	s, err := poisson.NewSolverWorkers(m, workers)
+	if err != nil {
+		tb.Fatalf("NewSolverWorkers(m=%d, workers=%d): %v", m, workers, err)
+	}
+	return s
 }
 
 // serialGradient reproduces the seed's single-goroutine Gradient loop.
@@ -51,7 +72,7 @@ func TestRefreshGradientParallelEquivalence(t *testing.T) {
 	idx := d.Movable()
 	const m = 64 // >= 64 so the Poisson pool actually fans out
 
-	ref := NewModelWorkers(d, m, 1)
+	ref := mustModelWorkers(t, d, m, 1)
 	serialRefresh(ref, idx)
 	refGrad := make([]float64, 2*len(idx))
 	serialGradient(ref, idx, refGrad)
@@ -62,7 +83,7 @@ func TestRefreshGradientParallelEquivalence(t *testing.T) {
 	}
 	grad := make([]float64, 2*len(idx))
 	for _, workers := range counts {
-		md := NewModelWorkers(d, m, workers)
+		md := mustModelWorkers(t, d, m, workers)
 		md.Refresh(idx)
 		if math.Float64bits(md.Energy()) != math.Float64bits(ref.Energy()) {
 			t.Fatalf("workers=%d: energy %v != serial %v", workers, md.Energy(), ref.Energy())
@@ -90,7 +111,7 @@ func TestRefreshGradientParallelEquivalence(t *testing.T) {
 func TestGradientFiniteDifferenceParallel(t *testing.T) {
 	d := synth.Generate(synth.Spec{Name: "dens-fd", NumCells: 120})
 	idx := d.Movable()
-	md := NewModelWorkers(d, 64, 4)
+	md := mustModelWorkers(t, d, 64, 4)
 	md.Refresh(idx)
 	n := len(idx)
 	grad := make([]float64, 2*n)
@@ -129,10 +150,10 @@ func TestPoissonWorkersEquivalence(t *testing.T) {
 	for i := range rho {
 		rho[i] = math.Sin(float64(3 * i)) // deterministic, zero-ish mean
 	}
-	ref := poisson.NewSolverWorkers(m, 1)
+	ref := mustPoissonSolver(t, m, 1)
 	ref.Solve(append([]float64(nil), rho...))
 	for _, workers := range []int{2, 7, runtime.NumCPU() + 2} {
-		s := poisson.NewSolverWorkers(m, workers)
+		s := mustPoissonSolver(t, m, workers)
 		s.Solve(append([]float64(nil), rho...))
 		for b := range ref.Psi {
 			if math.Float64bits(s.Psi[b]) != math.Float64bits(ref.Psi[b]) ||
@@ -153,7 +174,7 @@ func BenchmarkDensityGradient(b *testing.B) {
 	idx := d.Movable()
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
-			md := NewModelWorkers(d, 128, workers)
+			md := mustModelWorkers(b, d, 128, workers)
 			grad := make([]float64, 2*len(idx))
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -98,14 +98,18 @@ func LineSearchStudy(scale float64, opt RunOptions, out io.Writer) {
 	gp := core.Options{GridM: opt.GridM, MaxIters: opt.MaxIters}
 	MIPOnly(dn)
 	core.InsertFillers(dn, 2)
-	resN := core.PlaceGlobal(dn, dn.Movable(), gp, "mGP", 0)
+	resN, errN := core.PlaceGlobal(dn, dn.Movable(), gp, "mGP", 0)
 
 	dc := synth.Generate(spec)
 	gpc := gp
 	gpc.Solver = core.SolverCG
 	MIPOnly(dc)
 	core.InsertFillers(dc, 2)
-	resC := core.PlaceGlobal(dc, dc.Movable(), gpc, "mGP", 0)
+	resC, errC := core.PlaceGlobal(dc, dc.Movable(), gpc, "mGP", 0)
+	if errN != nil || errC != nil {
+		fmt.Fprintf(out, "# error: nesterov=%v cg=%v\n", errN, errC)
+		return
+	}
 
 	fmt.Fprintf(out, "# Footnote 2: line-search cost, eDensity objective, MMS-like ADAPTEC1\n")
 	fmt.Fprintf(out, "solver,iters,grad_evals_per_iter,cost_evals_per_iter,hpwl,tau,seconds\n")

@@ -43,6 +43,13 @@ type BenchOptions struct {
 	SweepLevels int
 	// SkipSweep drops the scale sweep entirely (suite rows only).
 	SkipSweep bool
+
+	// Poisson selects the eDensity Poisson backend the benchmark flow
+	// runs (poisson.Kinds). BenchSuite defaults to spectral32, the
+	// fastest backend, so the committed report carries the reduced mGP
+	// density share; the per-backend microbench rows always measure all
+	// backends regardless.
+	Poisson string
 }
 
 // BenchDesign places d with the full ePlace flow under a fresh recorder
@@ -59,7 +66,7 @@ func BenchDesign(d *netlist.Design, opt RunOptions) telemetry.BenchRecord {
 	flowRes, err := core.Place(d, core.FlowOptions{
 		GP: core.Options{
 			GridM: opt.GridM, MaxIters: opt.MaxIters, Trace: opt.Trace,
-			Workers: opt.Workers, Telemetry: opt.Telemetry,
+			Workers: opt.Workers, Poisson: opt.Poisson, Telemetry: opt.Telemetry,
 		},
 		SkipDetail: opt.SkipDetail,
 		Levels:     opt.Levels,
@@ -95,6 +102,13 @@ func BenchDesign(d *netlist.Design, opt RunOptions) telemetry.BenchRecord {
 		})
 	}
 	b.KernelsFrom(rec)
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
 	return b
 }
 
@@ -138,19 +152,42 @@ func KernelMicrobench(workers int, budget time.Duration) []telemetry.MicroBench 
 		timeKernel("fft/IDCTAndIDST_512", budget, func() { r.IDCTAndIDST(x, o1, o2) }),
 	)
 
-	for _, m := range []int{128, 256} {
+	// Per-backend Poisson solve rows with the float32-vs-float64 (and
+	// multigrid-vs-spectral) max-relative-error column: the serial
+	// float64 spectral row is the reference both for the >=2x speedup
+	// acceptance line and for MaxRelErr.
+	for _, m := range []int{128, 256, 512} {
 		rho := make([]float64, m*m)
 		rng := rand.New(rand.NewSource(1))
 		for i := range rho {
 			rho[i] = rng.Float64()
 		}
-		serial := poisson.NewSolverWorkers(m, 1)
-		out = append(out, timeKernel(fmt.Sprintf("poisson/Solve_%d_w1", m), budget,
-			func() { serial.Solve(rho) }))
-		if parallel.Count(workers) > 1 {
-			wide := poisson.NewSolverWorkers(m, workers)
-			out = append(out, timeKernel(fmt.Sprintf("poisson/Solve_%d_w%d", m, parallel.Count(workers)),
-				budget, func() { wide.Solve(rho) }))
+		ref, err := poisson.NewSolverWorkers(m, 1)
+		if err != nil {
+			panic(err) // power-of-two literals above; unreachable
+		}
+		ref.Solve(rho)
+		_, refEx, refEy := ref.Planes()
+		for _, kind := range poisson.Kinds() {
+			counts := []int{1}
+			if parallel.Count(workers) > 1 {
+				counts = append(counts, parallel.Count(workers))
+			}
+			for _, w := range counts {
+				b, err := poisson.NewBackend(kind, m, w)
+				if err != nil {
+					panic(err)
+				}
+				mb := timeKernel(fmt.Sprintf("poisson/Solve_%d_%s_w%d", m, kind, w), budget,
+					func() { b.Solve(rho) })
+				if kind != poisson.KindSpectral {
+					b.Solve(rho)
+					_, ex, ey := b.Planes()
+					mb.MaxRelErr = maxFloat(poisson.MaxRelError(ex, refEx),
+						poisson.MaxRelError(ey, refEy))
+				}
+				out = append(out, mb)
+			}
 		}
 	}
 
@@ -190,6 +227,9 @@ func BenchSuite(opt BenchOptions) *telemetry.BenchReport {
 	if opt.Scale <= 0 {
 		opt.Scale = 0.2
 	}
+	if opt.Poisson == "" {
+		opt.Poisson = poisson.KindSpectral32
+	}
 	specs := synth.ISPD05Suite(opt.Scale)
 	if opt.Circuits > 0 && opt.Circuits < len(specs) {
 		specs = specs[:opt.Circuits]
@@ -200,7 +240,7 @@ func BenchSuite(opt BenchOptions) *telemetry.BenchReport {
 	report.Micro = KernelMicrobench(opt.Workers, 150*time.Millisecond)
 	for _, spec := range specs {
 		d := synth.Generate(spec)
-		b := BenchDesign(d, RunOptions{Workers: opt.Workers})
+		b := BenchDesign(d, RunOptions{Workers: opt.Workers, Poisson: opt.Poisson})
 		if opt.Log != nil {
 			fmt.Fprintf(opt.Log, "bench %-10s cells=%-6d HPWL=%.4g tau=%.3f legal=%v %.2fs\n",
 				b.Benchmark, b.Cells, b.HPWL, b.Overflow, b.Legal, b.Seconds)
@@ -253,7 +293,7 @@ func ScaleSweep(opt BenchOptions) []telemetry.BenchRecord {
 		}
 		for _, v := range variants {
 			d := synth.Generate(spec)
-			b := BenchDesign(d, RunOptions{Workers: opt.Workers, Levels: v.levels})
+			b := BenchDesign(d, RunOptions{Workers: opt.Workers, Levels: v.levels, Poisson: opt.Poisson})
 			b.Benchmark = fmt.Sprintf("%s/%s", spec.Name, v.tag)
 			if opt.Log != nil {
 				fmt.Fprintf(opt.Log, "sweep %-14s cells=%-7d HPWL=%.4g legal=%v %.2fs\n",

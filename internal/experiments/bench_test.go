@@ -21,9 +21,16 @@ func TestKernelMicrobench(t *testing.T) {
 		names[mb.Name] = true
 	}
 	for _, want := range []string{"fft/DCT2_512", "fft/DCT2Pair_512", "fft/IDCTAndIDST_512",
-		"poisson/Solve_128_w1", "poisson/Solve_256_w1"} {
+		"poisson/Solve_128_spectral_w1", "poisson/Solve_256_spectral_w1",
+		"poisson/Solve_256_spectral32_w1", "poisson/Solve_256_multigrid_w1"} {
 		if !names[want] {
 			t.Errorf("missing kernel %q in %v", want, micro)
+		}
+	}
+	// The non-reference backends carry the error-vs-float64 column.
+	for _, mb := range micro {
+		if strings.Contains(mb.Name, "spectral32") && (mb.MaxRelErr <= 0 || mb.MaxRelErr > 1e-4) {
+			t.Errorf("%s: max_rel_err = %v, want (0, 1e-4]", mb.Name, mb.MaxRelErr)
 		}
 	}
 	// workers=1: no parallel variants should appear.

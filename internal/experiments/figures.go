@@ -72,7 +72,7 @@ func Fig3(scale float64, opt RunOptions, snapshots []int, dir string, out io.Wri
 			TargetOverflow: 1e-12,
 		}
 		if iters > 0 {
-			core.PlaceGlobal(d, d.Movable(), gp, "mGP", 0)
+			_, _ = core.PlaceGlobal(d, d.Movable(), gp, "mGP", 0)
 		}
 		w := d.HPWL()
 		o := d.TotalOverlap(movable)
@@ -91,7 +91,7 @@ func Fig5(scale float64, opt RunOptions, out io.Writer) {
 	qp.Place(d, movable, qp.Options{})
 	core.InsertFillers(d, 2)
 	gp := core.Options{GridM: opt.GridM, MaxIters: opt.MaxIters}
-	core.PlaceGlobal(d, d.Movable(), gp, "mGP", 0)
+	_, _ = core.PlaceGlobal(d, d.Movable(), gp, "mGP", 0)
 	d.RemoveFillers()
 	macros := d.MovableOf(netlist.Macro)
 	res := legalize.Macros(d, macros, legalize.MLGOptions{})

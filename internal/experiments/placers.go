@@ -59,6 +59,9 @@ type RunOptions struct {
 	Trace *core.Trace
 	// Workers is the gradient-kernel worker count (0 = all cores).
 	Workers int
+	// Poisson selects the eDensity Poisson backend by name
+	// (poisson.Kinds; "" = spectral float64).
+	Poisson string
 	// Telemetry, when non-nil, receives samples, spans and counters
 	// from whichever placer runs.
 	Telemetry *telemetry.Recorder
@@ -77,7 +80,7 @@ func Run(d *netlist.Design, p Placer, opt RunOptions) metrics.Report {
 
 	gpOpt := core.Options{
 		GridM: opt.GridM, MaxIters: opt.MaxIters, Trace: opt.Trace,
-		Workers: opt.Workers, Telemetry: opt.Telemetry,
+		Workers: opt.Workers, Poisson: opt.Poisson, Telemetry: opt.Telemetry,
 	}
 
 	switch p {

@@ -10,7 +10,7 @@ import (
 // task closures and whole-plane scratch and allocate nothing.
 func TestSolveEnergyAllocFree(t *testing.T) {
 	const m = 64
-	s := NewSolverWorkers(m, 1)
+	s := mustSolver(t, m, 1)
 	rho := make([]float64, m*m)
 	for i := range rho {
 		rho[i] = math.Sin(float64(5 * i))

@@ -93,15 +93,18 @@ type Solver struct {
 }
 
 // NewSolver creates a solver for an m x m grid (m a power of two)
-// using all cores.
-func NewSolver(m int) *Solver { return NewSolverWorkers(m, 0) }
+// using all cores. It returns a descriptive error for any m the packed
+// transforms cannot handle (zero, negative, or not a power of two) —
+// feeding such an m through would produce garbage transforms, and the
+// grid size often arrives from user-facing options.
+func NewSolver(m int) (*Solver, error) { return NewSolverWorkers(m, 0) }
 
 // NewSolverWorkers is NewSolver with an explicit worker count;
 // workers <= 0 selects all cores (GOMAXPROCS). Grids below 64x64 run
 // serial regardless: a transform there is cheaper than a fork-join.
-func NewSolverWorkers(m, workers int) *Solver {
-	if m <= 0 || m&(m-1) != 0 {
-		panic(fmt.Sprintf("poisson: grid size %d is not a positive power of two", m))
+func NewSolverWorkers(m, workers int) (*Solver, error) {
+	if err := checkGridSize(m); err != nil {
+		return nil, err
 	}
 	workers = parallel.Count(workers)
 	if m < 64 {
@@ -138,7 +141,17 @@ func NewSolverWorkers(m, workers int) *Solver {
 		s.eShards = m * m
 	}
 	s.buildTasks()
-	return s
+	return s, nil
+}
+
+// checkGridSize validates the grid edge shared by every backend: the
+// spectral transforms need a power of two, and multigrid coarsens by
+// factors of two down to 1x1, so the same constraint applies everywhere.
+func checkGridSize(m int) error {
+	if m <= 0 || m&(m-1) != 0 {
+		return fmt.Errorf("poisson: grid size %d is not a positive power of two", m)
+	}
+	return nil
 }
 
 // buildTasks creates the persistent worker closures for every parallel
@@ -247,6 +260,12 @@ func (s *Solver) buildTasks() {
 
 // M returns the grid size.
 func (s *Solver) M() int { return s.m }
+
+// Name returns the backend kind: the float64 spectral reference.
+func (s *Solver) Name() string { return KindSpectral }
+
+// Planes returns the potential and field planes of the latest Solve.
+func (s *Solver) Planes() (psi, ex, ey []float64) { return s.Psi, s.Ex, s.Ey }
 
 // transpose writes dst[i*m+j] = src[j*m+i] tile by tile (tblk square
 // tiles), sharding tile rows of dst across the pool. Each task owns a

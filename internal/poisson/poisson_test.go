@@ -24,22 +24,36 @@ func manufactured(m, u, v int) (rho, psi []float64) {
 	return rho, psi
 }
 
+// mustSolver builds a float64 spectral solver or fails the test: the
+// helper for the many tests whose m is a known-good power of two.
+func mustSolver(tb testing.TB, m, workers int) *Solver {
+	tb.Helper()
+	s, err := NewSolverWorkers(m, workers)
+	if err != nil {
+		tb.Fatalf("NewSolverWorkers(%d, %d): %v", m, workers, err)
+	}
+	return s
+}
+
 func TestNewSolverRejectsBadSize(t *testing.T) {
-	for _, m := range []int{0, 3, 24} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewSolver(%d) did not panic", m)
-				}
-			}()
-			NewSolver(m)
-		}()
+	for _, m := range []int{0, -4, 3, 24} {
+		if _, err := NewSolver(m); err == nil {
+			t.Errorf("NewSolver(%d) = nil error, want descriptive error", m)
+		}
+		for _, kind := range Kinds() {
+			if _, err := NewBackend(kind, m, 1); err == nil {
+				t.Errorf("NewBackend(%q, %d) = nil error, want descriptive error", kind, m)
+			}
+		}
+	}
+	if _, err := NewBackend("fancy", 64, 1); err == nil {
+		t.Error("NewBackend with an unknown kind succeeded, want error naming the kinds")
 	}
 }
 
 func TestManufacturedSolution(t *testing.T) {
 	m := 32
-	s := NewSolver(m)
+	s := mustSolver(t, m, 0)
 	for _, uv := range [][2]int{{1, 0}, {0, 1}, {1, 1}, {3, 2}, {7, 5}, {15, 15}} {
 		rho, want := manufactured(m, uv[0], uv[1])
 		s.Solve(rho)
@@ -53,7 +67,7 @@ func TestManufacturedSolution(t *testing.T) {
 
 func TestFieldMatchesAnalyticDerivative(t *testing.T) {
 	m := 32
-	s := NewSolver(m)
+	s := mustSolver(t, m, 0)
 	u, v := 3, 2
 	rho, _ := manufactured(m, u, v)
 	s.Solve(rho)
@@ -77,7 +91,7 @@ func TestFieldMatchesAnalyticDerivative(t *testing.T) {
 
 func TestUniformChargeGivesZeroField(t *testing.T) {
 	m := 16
-	s := NewSolver(m)
+	s := mustSolver(t, m, 0)
 	rho := make([]float64, m*m)
 	for i := range rho {
 		rho[i] = 7.5 // pure DC: removed by the zero-frequency constraint
@@ -93,7 +107,7 @@ func TestUniformChargeGivesZeroField(t *testing.T) {
 
 func TestPsiZeroMean(t *testing.T) {
 	m := 32
-	s := NewSolver(m)
+	s := mustSolver(t, m, 0)
 	rng := rand.New(rand.NewSource(3))
 	rho := make([]float64, m*m)
 	for i := range rho {
@@ -113,7 +127,7 @@ func TestPsiZeroMean(t *testing.T) {
 // this is the mechanism that spreads cells apart (Sec. IV).
 func TestFieldPointsAwayFromBlob(t *testing.T) {
 	m := 32
-	s := NewSolver(m)
+	s := mustSolver(t, m, 0)
 	rho := make([]float64, m*m)
 	cx, cy := 16, 16
 	for dj := -2; dj <= 2; dj++ {
@@ -152,7 +166,7 @@ func TestFieldPointsAwayFromBlob(t *testing.T) {
 // the interior field scale.
 func TestNeumannBoundaryFieldSmall(t *testing.T) {
 	m := 64
-	s := NewSolver(m)
+	s := mustSolver(t, m, 0)
 	rho := make([]float64, m*m)
 	// Off-center blob so boundary fields would be asymmetric if wrong.
 	for dj := -2; dj <= 2; dj++ {
@@ -197,7 +211,7 @@ func TestNeumannBoundaryFieldSmall(t *testing.T) {
 // Linearity: solving a + b equals solving a plus solving b.
 func TestSolveLinearity(t *testing.T) {
 	m := 16
-	s := NewSolver(m)
+	s := mustSolver(t, m, 0)
 	rng := rand.New(rand.NewSource(8))
 	a := make([]float64, m*m)
 	b := make([]float64, m*m)
@@ -228,7 +242,7 @@ func TestSolveLinearity(t *testing.T) {
 // spreading reduces N(v), the optimizer's descent direction.
 func TestEnergyDecreasesWhenSpread(t *testing.T) {
 	m := 32
-	s := NewSolver(m)
+	s := mustSolver(t, m, 0)
 	merged := make([]float64, m*m)
 	for dj := 0; dj < 4; dj++ {
 		for di := 0; di < 4; di++ {
@@ -258,7 +272,7 @@ func TestEnergyDecreasesWhenSpread(t *testing.T) {
 // recovers -rho for a smooth band-limited charge.
 func TestPoissonResidualSmoothCharge(t *testing.T) {
 	m := 64
-	s := NewSolver(m)
+	s := mustSolver(t, m, 0)
 	rho := make([]float64, m*m)
 	// Band-limited smooth charge: a few low-frequency cosine modes.
 	for j := 0; j < m; j++ {
@@ -286,7 +300,7 @@ func TestPoissonResidualSmoothCharge(t *testing.T) {
 // the tile edge.
 func TestTransposeRoundTrip(t *testing.T) {
 	for _, m := range []int{2, 8, 16, 32, 64, 128} {
-		s := NewSolverWorkers(m, 2)
+		s := mustSolver(t, m, 2)
 		src := make([]float64, m*m)
 		rng := rand.New(rand.NewSource(int64(m)))
 		for i := range src {
@@ -320,11 +334,11 @@ func TestEnergyWorkersBitwise(t *testing.T) {
 	for i := range rho {
 		rho[i] = rng.NormFloat64()
 	}
-	ref := NewSolverWorkers(m, 1)
+	ref := mustSolver(t, m, 1)
 	ref.Solve(rho)
 	want := ref.Energy(rho)
 	for _, workers := range []int{2, 3, 7, 8} {
-		s := NewSolverWorkers(m, workers)
+		s := mustSolver(t, m, workers)
 		s.Solve(rho)
 		if got := s.Energy(rho); math.Float64bits(got) != math.Float64bits(want) {
 			t.Fatalf("workers=%d: energy %v != %v", workers, got, want)
@@ -337,7 +351,7 @@ func TestEnergyWorkersBitwise(t *testing.T) {
 // exact.
 func TestManufacturedSolutionSmallGrids(t *testing.T) {
 	for _, m := range []int{2, 4, 8} {
-		s := NewSolver(m)
+		s := mustSolver(t, m, 0)
 		for _, uv := range [][2]int{{1, 0}, {0, 1}, {1, 1}} {
 			rho, want := manufactured(m, uv[0], uv[1])
 			s.Solve(rho)
@@ -352,7 +366,7 @@ func TestManufacturedSolutionSmallGrids(t *testing.T) {
 
 // A 1x1 grid has only the removed DC mode: everything is zero.
 func TestSolveDegenerateGrid(t *testing.T) {
-	s := NewSolver(1)
+	s := mustSolver(t, 1, 0)
 	s.Solve([]float64{42})
 	if s.Psi[0] != 0 || s.Ex[0] != 0 || s.Ey[0] != 0 {
 		t.Fatalf("1x1 solve: psi=%v ex=%v ey=%v, want zeros", s.Psi[0], s.Ex[0], s.Ey[0])
@@ -363,7 +377,7 @@ func TestSolveDegenerateGrid(t *testing.T) {
 }
 
 func benchSolve(b *testing.B, m, workers int) {
-	s := NewSolverWorkers(m, workers)
+	s := mustSolver(b, m, workers)
 	rho := make([]float64, m*m)
 	rng := rand.New(rand.NewSource(1))
 	for i := range rho {
@@ -386,7 +400,7 @@ func BenchmarkSolve_256AllCores(b *testing.B) { benchSolve(b, 256, 0) }
 
 func BenchmarkEnergy_256(b *testing.B) {
 	m := 256
-	s := NewSolverWorkers(m, 1)
+	s := mustSolver(b, m, 1)
 	rho := make([]float64, m*m)
 	rng := rand.New(rand.NewSource(1))
 	for i := range rho {

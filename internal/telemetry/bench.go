@@ -70,6 +70,10 @@ type MicroBench struct {
 	Name    string  `json:"name"`
 	Ops     int     `json:"ops"`
 	NsPerOp float64 `json:"ns_per_op"`
+	// MaxRelErr is the measured max relative error of an approximate
+	// kernel's output against its float64 reference (the precision
+	// column of the Poisson backend study); 0 for exact kernels.
+	MaxRelErr float64 `json:"max_rel_err,omitempty"`
 }
 
 // BenchReport is the full BENCH_eplace.json payload: environment
