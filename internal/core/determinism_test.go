@@ -60,6 +60,42 @@ func TestFlowBitwiseDeterminism(t *testing.T) {
 	}
 }
 
+// TestFlowBackEndParallelDeterminism extends the golden-digest
+// property to a circuit big enough that the parallel back end is
+// genuinely sharded: ~5000 std cells split row legalization into
+// multiple bands and cDP into multiple regions, so the mLG/cDP digests
+// cover the region-parallel passes, the propose/commit ISM protocol,
+// and the banded legalizer — not just their single-shard degenerate
+// forms.
+func TestFlowBackEndParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full placement at 5000 cells")
+	}
+	spec := synth.Spec{Name: "det-backend", NumCells: 5000, NumMovableMacros: 2}
+	opts := func(workers int) FlowOptions {
+		return FlowOptions{GP: Options{GridM: 32, MaxIters: 80, MinIters: 10, Workers: workers}}
+	}
+	d0 := synth.Generate(spec)
+	ref, err := Place(d0, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		d := synth.Generate(spec)
+		res, err := Place(d, opts(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if math.Float64bits(res.HPWL) != math.Float64bits(ref.HPWL) {
+			t.Errorf("workers=%d: HPWL %v differs from reference %v",
+				workers, res.HPWL, ref.HPWL)
+		}
+		if ok, why := telemetry.DigestsEqual(ref.Digests, res.Digests); !ok {
+			t.Errorf("workers=%d: digests differ: %s", workers, why)
+		}
+	}
+}
+
 // runCheckpointedFlow runs the mixed-size circuit with history-keeping
 // checkpoints every `every` GP iterations and returns the result and
 // the manager.

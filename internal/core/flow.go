@@ -456,6 +456,9 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 			if mlgOpt.Telemetry == nil {
 				mlgOpt.Telemetry = rec
 			}
+			if mlgOpt.Workers == 0 {
+				mlgOpt.Workers = opt.GP.Workers
+			}
 			res.MLG = legalize.Macros(d, movMacros, mlgOpt)
 			golden.Absorb("mLG", 0, d.Positions(movMacros), d.HPWL(), 0)
 			res.addStage(rec, "mLG", time.Since(t0))
@@ -567,7 +570,7 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 		legalize.BuildRows(d, h, 0)
 	}
 	tLG := time.Now()
-	if _, _, err := legalize.Cells(d, stdCells, opt.LegalizeMethod); err != nil {
+	if _, _, err := legalize.CellsWorkers(d, stdCells, opt.LegalizeMethod, opt.GP.Workers); err != nil {
 		return res, fmt.Errorf("core: legalization failed: %w", err)
 	}
 	rec.AddSpanTime("cDP", "legalize", time.Since(tLG))
@@ -575,6 +578,9 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 		dOpt := opt.Detail
 		if dOpt.Telemetry == nil {
 			dOpt.Telemetry = rec
+		}
+		if dOpt.Workers == 0 {
+			dOpt.Workers = opt.GP.Workers
 		}
 		dOpt.Golden = golden
 		tDP := time.Now()

@@ -40,9 +40,11 @@ type Options struct {
 	Solver SolverKind
 	// Workers is the worker count for the per-iteration gradient
 	// kernels (WA wirelength, eDensity rasterize/solve/force, spectral
-	// Poisson transforms): 0 uses all cores, 1 runs fully serial.
-	// Results are bitwise-identical for every setting; only wall-clock
-	// time changes.
+	// Poisson transforms) and, through the flow, for the back end too:
+	// the mLG state build, band-sharded row legalization, and the
+	// region-parallel cDP passes. 0 uses all cores, 1 runs fully
+	// serial. Results are bitwise-identical for every setting; only
+	// wall-clock time changes.
 	Workers int
 	// Poisson selects the density model's Poisson backend by name
 	// (poisson.Kinds: "spectral", "spectral32", "multigrid"); "" selects

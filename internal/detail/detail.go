@@ -1,20 +1,30 @@
 // Package detail implements the discrete refinement of the cDP stage
 // (the paper invokes NTUplace3's detail placer [4]; this is a
 // functional reimplementation): legality-preserving global swaps toward
-// each cell's optimal region, local reordering windows, and relocation
-// into whitespace. Cells are managed per obstacle-free row segment
-// (from legalize.FreeSegments), so wide macros and pads can never be
-// stepped on. Every operation keeps the layout legal and is accepted
-// only when it shortens HPWL.
+// each cell's optimal region, local reordering windows, relocation into
+// whitespace, and independent-set matching. Cells are managed per
+// obstacle-free row segment (from legalize.FreeSegments), so wide
+// macros and pads can never be stepped on. Every operation keeps the
+// layout legal and is accepted only when it shortens HPWL.
+//
+// The improvement passes are region-parallel: segments are grouped into
+// contiguous regions with worker-count-independent boundaries, each
+// region's moves are evaluated against a frozen snapshot of the other
+// regions, and the cross-region ISM pass runs as parallel propose +
+// total-order serial commit. Results are bitwise-identical at every
+// worker count (see DESIGN.md, "Parallel legalization and detailed
+// placement").
 package detail
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"eplace/internal/legalize"
 	"eplace/internal/netlist"
+	"eplace/internal/parallel"
 	"eplace/internal/telemetry"
 )
 
@@ -32,8 +42,14 @@ type Options struct {
 	ISMSetSize int
 	// DisableISM turns off independent-set matching.
 	DisableISM bool
+	// Workers is the worker count for the region-parallel improvement
+	// passes: 0 uses all cores, 1 runs on the calling goroutine.
+	// Results are bitwise-identical at every setting.
+	Workers int
 	// Telemetry, when non-nil, receives one Sample per improvement pass
-	// (stage "cDP") plus swap/reorder/relocate/ISM counters.
+	// (stage "cDP") plus swap/reorder/relocate/ISM counters and
+	// per-pass-type kernel spans (cDP/reorder, cDP/swap, cDP/ism,
+	// cDP/relocate).
 	Telemetry *telemetry.Recorder
 	// Golden, when non-nil, absorbs every pass's cell positions and
 	// HPWL into the "cDP" determinism digest (see telemetry.GoldenTrace).
@@ -53,7 +69,14 @@ func (o *Options) defaults() {
 	if o.ISMSetSize <= 0 {
 		o.ISMSetSize = 6
 	}
+	if o.ISMSetSize > maxISMSet {
+		o.ISMSetSize = maxISMSet
+	}
 }
+
+// maxISMSet caps independent-set matching groups: the assignment solve
+// is cubic and the evalCtx override buffers are fixed-size.
+const maxISMSet = 16
 
 // Result reports a detail placement run.
 type Result struct {
@@ -72,12 +95,92 @@ type segCells struct {
 	cells  []int
 }
 
-// placer holds segment-ordered occupancy over legalized cells.
+// segRange is a contiguous run of segment indices forming one region.
+type segRange struct{ lo, hi int }
+
+// passCount accumulates one region's accepted moves; reduced over
+// regions in fixed (region-index) order after each pass.
+type passCount struct{ improved, ops int }
+
+// placer holds segment-ordered occupancy over legalized cells plus the
+// region partition and worker contexts for the parallel passes.
 type placer struct {
-	d     *netlist.Design
-	opt   Options
-	segs  []*segCells
-	segOf map[int]int // movable cell -> index into segs
+	d    *netlist.Design
+	opt  Options
+	segs []*segCells
+	// segOf maps cell index -> segment index (-1 for unmanaged cells:
+	// macros, pads, fixed objects). regionOf maps cell -> region the
+	// same way; segRegion maps segment -> region.
+	segOf     []int32
+	regionOf  []int32
+	segRegion []int32
+	regions   []segRange
+	workers   int
+	evals     []*evalCtx
+	// snapX/snapY freeze managed-cell positions at the start of each
+	// region-parallel pass; other regions are read through them.
+	snapX, snapY []float64
+	counts       []passCount
+	ismProps     []ismProposal
+
+	// Flat CSR pin view, built once per Place call: the HPWL inner loops
+	// read these contiguous arrays instead of chasing Net -> pin-index ->
+	// Pin struct. netPin*[netPinStart[ni]:netPinStart[ni+1]] are net ni's
+	// pins (cell index, or -1 with absolute coordinates for floating
+	// terminals); cellNet[cellNetStart[ci]:cellNetStart[ci+1]] is the net
+	// of each of cell ci's pins, in pin order (not deduplicated — netsOf
+	// and optimalX preserve the per-pin iteration order of the source
+	// structures).
+	netPinStart  []int32
+	netPinCell   []int32
+	netPinOx     []float64
+	netPinOy     []float64
+	netW         []float64
+	cellNetStart []int32
+	cellNet      []int32
+}
+
+// buildPinView flattens the netlist's pin structures into the CSR
+// arrays above.
+func (p *placer) buildPinView() {
+	d := p.d
+	p.netPinStart = make([]int32, len(d.Nets)+1)
+	p.netW = make([]float64, len(d.Nets))
+	total := 0
+	for ni := range d.Nets {
+		p.netPinStart[ni] = int32(total)
+		total += len(d.Nets[ni].Pins)
+		p.netW[ni] = d.Nets[ni].EffWeight()
+	}
+	p.netPinStart[len(d.Nets)] = int32(total)
+	p.netPinCell = make([]int32, total)
+	p.netPinOx = make([]float64, total)
+	p.netPinOy = make([]float64, total)
+	k := 0
+	for ni := range d.Nets {
+		for _, pi := range d.Nets[ni].Pins {
+			pin := &d.Pins[pi]
+			p.netPinCell[k] = int32(pin.Cell)
+			p.netPinOx[k] = pin.Ox
+			p.netPinOy[k] = pin.Oy
+			k++
+		}
+	}
+	p.cellNetStart = make([]int32, len(d.Cells)+1)
+	total = 0
+	for ci := range d.Cells {
+		p.cellNetStart[ci] = int32(total)
+		total += len(d.Cells[ci].Pins)
+	}
+	p.cellNetStart[len(d.Cells)] = int32(total)
+	p.cellNet = make([]int32, total)
+	k = 0
+	for ci := range d.Cells {
+		for _, pi := range d.Cells[ci].Pins {
+			p.cellNet[k] = int32(d.Pins[pi].Net)
+			k++
+		}
+	}
 }
 
 // Place refines the legalized standard cells in cells. The layout must
@@ -85,24 +188,35 @@ type placer struct {
 func Place(d *netlist.Design, cells []int, opt Options) (Result, error) {
 	opt.defaults()
 	res := Result{HPWLBefore: d.HPWL()}
-	p := &placer{d: d, opt: opt, segOf: map[int]int{}}
+	p := &placer{d: d, opt: opt, workers: parallel.Count(opt.Workers)}
 	if err := p.buildSegments(cells); err != nil {
 		return res, err
 	}
+	p.buildPinView()
+	p.buildRegions()
+	rec := opt.Telemetry
 	for pass := 0; pass < opt.Passes; pass++ {
 		res.Passes = pass + 1
 		improved := 0
+		t := time.Now()
 		improved += p.reorderPass(&res)
-		improved += p.swapPass(cells, &res)
+		rec.AddSpanTime("cDP", "reorder", time.Since(t))
+		t = time.Now()
+		improved += p.swapPass(&res)
+		rec.AddSpanTime("cDP", "swap", time.Since(t))
 		if !opt.DisableISM {
-			improved += p.ismPass(cells, &res)
+			t = time.Now()
+			improved += p.ismPass(&res)
+			rec.AddSpanTime("cDP", "ism", time.Since(t))
 		}
+		t = time.Now()
 		improved += p.relocatePass(&res)
+		rec.AddSpanTime("cDP", "relocate", time.Since(t))
 		if opt.Golden != nil {
 			opt.Golden.Absorb("cDP", pass, d.Positions(cells), d.HPWL(), 0)
 		}
-		if opt.Telemetry.Active() {
-			opt.Telemetry.Sample(telemetry.Sample{
+		if rec.Active() {
+			rec.Sample(telemetry.Sample{
 				Stage: "cDP", Iteration: pass, HPWL: d.HPWL(),
 			})
 		}
@@ -111,10 +225,10 @@ func Place(d *netlist.Design, cells []int, opt Options) (Result, error) {
 		}
 	}
 	res.HPWLAfter = d.HPWL()
-	opt.Telemetry.Count("cDP/swaps", int64(res.Swaps))
-	opt.Telemetry.Count("cDP/reorders", int64(res.Reorders))
-	opt.Telemetry.Count("cDP/relocates", int64(res.Relocates))
-	opt.Telemetry.Count("cDP/ism_rounds", int64(res.ISMRounds))
+	rec.Count("cDP/swaps", int64(res.Swaps))
+	rec.Count("cDP/reorders", int64(res.Reorders))
+	rec.Count("cDP/relocates", int64(res.Relocates))
+	rec.Count("cDP/ism_rounds", int64(res.ISMRounds))
 	return res, nil
 }
 
@@ -140,6 +254,12 @@ func (p *placer) buildSegments(cells []int) error {
 			p.segs = append(p.segs, &segCells{lx: s.Lx, hx: s.Hx})
 		}
 	}
+	p.segOf = make([]int32, len(d.Cells))
+	p.regionOf = make([]int32, len(d.Cells))
+	for i := range p.segOf {
+		p.segOf[i] = -1
+		p.regionOf[i] = -1
+	}
 	for _, ci := range cells {
 		c := &d.Cells[ci]
 		ri, ok := byY[round6(c.Y-c.H/2)]
@@ -162,7 +282,7 @@ func (p *placer) buildSegments(cells []int) error {
 			return fmt.Errorf("detail: cell %d (%s) not inside a free segment", ci, c.Name)
 		}
 		p.segs[found].cells = append(p.segs[found].cells, ci)
-		p.segOf[ci] = found
+		p.segOf[ci] = int32(found)
 	}
 	for _, s := range p.segs {
 		sort.Slice(s.cells, func(a, b int) bool {
@@ -177,7 +297,100 @@ func (p *placer) buildSegments(cells []int) error {
 	return nil
 }
 
+// regionTargetCells sets region granularity: large enough that most of
+// a cell's neighborhood is in its own (live) region — small designs get
+// a single region and therefore exactly the serial semantics — small
+// enough to spread a 50K+-cell design across a worker pool. maxRegions
+// bounds snapshot bookkeeping.
+const (
+	regionTargetCells = 2048
+	maxRegions        = 64
+)
+
+// buildRegions partitions the segment list into contiguous ranges with
+// balanced cell counts. Determinism contract: the partition is a pure
+// function of the design (segment contents), never of the worker
+// count, so every worker count evaluates the same region boundaries.
+func (p *placer) buildRegions() {
+	managed := 0
+	for _, s := range p.segs {
+		managed += len(s.cells)
+	}
+	g := managed / regionTargetCells
+	if g < 1 {
+		g = 1
+	}
+	if g > maxRegions {
+		g = maxRegions
+	}
+	if g > len(p.segs) && len(p.segs) > 0 {
+		g = len(p.segs)
+	}
+	p.segRegion = make([]int32, len(p.segs))
+	acc, seg := 0, 0
+	for r := 0; r < g; r++ {
+		lo := seg
+		target := ((r + 1) * managed) / g
+		for seg < len(p.segs) && (acc < target || r == g-1) {
+			acc += len(p.segs[seg].cells)
+			p.segRegion[seg] = int32(r)
+			seg++
+		}
+		p.regions = append(p.regions, segRange{lo, seg})
+	}
+	for si, s := range p.segs {
+		for _, ci := range s.cells {
+			p.regionOf[ci] = p.segRegion[si]
+		}
+	}
+	p.snapX = make([]float64, len(p.d.Cells))
+	p.snapY = make([]float64, len(p.d.Cells))
+	p.counts = make([]passCount, len(p.regions))
+	p.evals = make([]*evalCtx, p.workers)
+	for i := range p.evals {
+		p.evals[i] = newEvalCtx(p)
+	}
+}
+
+// snapshot freezes every managed cell's position into snapX/snapY.
+// Parallel over segments (disjoint writes per cell).
+func (p *placer) snapshot() {
+	parallel.For(p.workers, len(p.segs), func(_, lo, hi int) {
+		for si := lo; si < hi; si++ {
+			for _, ci := range p.segs[si].cells {
+				c := &p.d.Cells[ci]
+				p.snapX[ci], p.snapY[ci] = c.X, c.Y
+			}
+		}
+	})
+}
+
+// forRegions snapshots the managed positions and runs fn once per
+// region, sharded across the worker pool. fn mutates only its own
+// region's cells and reads other regions through the snapshot, so each
+// region's outcome is a pure function of the pass's starting state —
+// identical at every worker count. Accepted-move counters are written
+// per region and reduced in region order by the caller.
+func (p *placer) forRegions(fn func(e *evalCtx, r int) passCount) (improved, ops int) {
+	p.snapshot()
+	parallel.For(p.workers, len(p.regions), func(w, lo, hi int) {
+		e := p.evals[w]
+		e.allLive = false
+		for r := lo; r < hi; r++ {
+			e.region = int32(r)
+			p.counts[r] = fn(e, r)
+		}
+	})
+	for r := range p.counts {
+		improved += p.counts[r].improved
+		ops += p.counts[r].ops
+	}
+	return improved, ops
+}
+
 // gap returns the free interval available to the cell at s.cells[k].
+// Neighbors are always in the same segment (the caller's own region),
+// so live reads are exact.
 func (p *placer) gap(s *segCells, k int) (lo, hi float64) {
 	d := p.d
 	lo, hi = s.lx, s.hx
@@ -192,133 +405,109 @@ func (p *placer) gap(s *segCells, k int) (lo, hi float64) {
 	return lo, hi
 }
 
-// netsOf returns the distinct nets touching the given cells, in first-
-// encounter (pin) order. Determinism contract: seen is a membership
-// test only; the output order comes from the deterministic pin lists.
-func (p *placer) netsOf(cells ...int) []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, ci := range cells {
-		for _, pi := range p.d.Cells[ci].Pins {
-			ni := p.d.Pins[pi].Net
-			if !seen[ni] {
-				seen[ni] = true
-				out = append(out, ni)
-			}
-		}
-	}
-	return out
-}
-
-// hpwlOf sums current HPWL over the given nets.
-func (p *placer) hpwlOf(nets []int) float64 {
-	s := 0.0
-	for _, ni := range nets {
-		s += p.d.NetHPWL(ni)
-	}
-	return s
-}
-
-// optimalX returns the x median of the other pins of the cell's nets:
-// the center of its optimal region.
-func (p *placer) optimalX(ci int) float64 {
-	var xs []float64
-	d := p.d
-	for _, pi := range d.Cells[ci].Pins {
-		net := &d.Nets[d.Pins[pi].Net]
-		for _, qi := range net.Pins {
-			if d.Pins[qi].Cell == ci {
-				continue
-			}
-			xs = append(xs, d.PinPos(qi).X)
-		}
-	}
-	if len(xs) == 0 {
-		return d.Cells[ci].X
-	}
-	sort.Float64s(xs)
-	return xs[len(xs)/2]
-}
-
 // relocatePass slides each cell within its own gap toward its optimal
 // x, accepting when HPWL improves.
 func (p *placer) relocatePass(res *Result) int {
-	improved := 0
 	d := p.d
-	for _, s := range p.segs {
-		for k, ci := range s.cells {
-			c := &d.Cells[ci]
-			lo, hi := p.gap(s, k)
-			if hi-lo < c.W-1e-12 {
-				continue
-			}
-			target := p.optimalX(ci)
-			nx := math.Max(lo+c.W/2, math.Min(hi-c.W/2, target))
-			if math.Abs(nx-c.X) < 1e-12 {
-				continue
-			}
-			nets := p.netsOf(ci)
-			before := p.hpwlOf(nets)
-			oldX := c.X
-			c.X = nx
-			if p.hpwlOf(nets) < before-1e-12 {
-				improved++
-				res.Relocates++
-			} else {
-				c.X = oldX
+	improved, ops := p.forRegions(func(e *evalCtx, r int) passCount {
+		var pc passCount
+		for si := p.regions[r].lo; si < p.regions[r].hi; si++ {
+			s := p.segs[si]
+			for k, ci := range s.cells {
+				c := &d.Cells[ci]
+				lo, hi := p.gap(s, k)
+				if hi-lo < c.W-1e-12 {
+					continue
+				}
+				target := e.optimalX(ci)
+				nx := math.Max(lo+c.W/2, math.Min(hi-c.W/2, target))
+				if math.Abs(nx-c.X) < 1e-12 {
+					continue
+				}
+				nets := e.netsOf1(ci)
+				before := e.hpwlOf(nets)
+				oldX := c.X
+				c.X = nx
+				if e.hpwlOf(nets) < before-1e-12 {
+					pc.improved++
+					pc.ops++
+				} else {
+					c.X = oldX
+				}
 			}
 		}
-	}
+		return pc
+	})
+	res.Relocates += ops
 	return improved
 }
 
 // swapPass tries exchanging each cell with cells of its segment nearest
-// its optimal x.
-func (p *placer) swapPass(cells []int, res *Result) int {
-	improved := 0
+// its optimal x. Iteration follows a fixed copy of each segment's order
+// captured when the segment is entered (swaps permute it in place).
+func (p *placer) swapPass(res *Result) int {
 	d := p.d
-	for _, ci := range cells {
-		si, ok := p.segOf[ci]
-		if !ok {
-			continue
-		}
-		s := p.segs[si]
-		k := indexOf(s.cells, ci)
-		if k < 0 {
-			continue
-		}
-		target := p.optimalX(ci)
-		lo := sort.Search(len(s.cells), func(i int) bool { return d.Cells[s.cells[i]].X >= target })
-		tried := 0
-		for off := 0; off < len(s.cells) && tried < p.opt.SwapCandidates; off++ {
-			advanced := false
-			for _, j := range []int{lo + off, lo - off - 1} {
-				if j < 0 || j >= len(s.cells) || s.cells[j] == ci || tried >= p.opt.SwapCandidates {
+	improved, ops := p.forRegions(func(e *evalCtx, r int) passCount {
+		var pc passCount
+		for si := p.regions[r].lo; si < p.regions[r].hi; si++ {
+			s := p.segs[si]
+			e.order = append(e.order[:0], s.cells...)
+			for _, ci := range e.order {
+				k := indexOf(s.cells, ci)
+				if k < 0 {
 					continue
 				}
-				advanced = true
-				tried++
-				if p.trySwap(s, k, j) {
-					improved++
-					res.Swaps++
-					k = indexOf(s.cells, ci)
-					break
+				target := e.optimalX(ci)
+				// Binary search for the first cell at or right of the
+				// target (hand-rolled: sort.Search's closure allocates).
+				lo, hi := 0, len(s.cells)
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if d.Cells[s.cells[mid]].X >= target {
+						hi = mid
+					} else {
+						lo = mid + 1
+					}
+				}
+				tried := 0
+				for off := 0; off < len(s.cells) && tried < p.opt.SwapCandidates; off++ {
+					advanced := false
+					for side := 0; side < 2; side++ {
+						j := lo + off
+						if side == 1 {
+							j = lo - off - 1
+						}
+						if j < 0 || j >= len(s.cells) || s.cells[j] == ci || tried >= p.opt.SwapCandidates {
+							continue
+						}
+						advanced = true
+						tried++
+						if e.trySwap(s, k, j) {
+							pc.improved++
+							pc.ops++
+							k = indexOf(s.cells, ci)
+							break
+						}
+					}
+					if !advanced && off > len(s.cells) {
+						break
+					}
 				}
 			}
-			if !advanced && off > len(s.cells) {
-				break
-			}
 		}
-	}
+		return pc
+	})
+	res.Swaps += ops
 	return improved
 }
 
 // trySwap exchanges the cells at positions ka and kb of segment s when
 // both fit in each other's gaps and HPWL improves.
-func (p *placer) trySwap(s *segCells, ka, kb int) bool {
+func (e *evalCtx) trySwap(s *segCells, ka, kb int) bool {
 	if ka == kb {
 		return false
 	}
+	p := e.p
 	d := p.d
 	if ka > kb {
 		ka, kb = kb, ka
@@ -333,12 +522,12 @@ func (p *placer) trySwap(s *segCells, ka, kb int) bool {
 		if cb.W+ca.W > hi-lo+1e-12 {
 			return false
 		}
-		nets := p.netsOf(a, b)
-		before := p.hpwlOf(nets)
+		nets := e.netsOf2(a, b)
+		before := e.hpwlOf(nets)
 		oldAX, oldBX := ca.X, cb.X
 		cb.X = lo + cb.W/2
 		ca.X = lo + cb.W + ca.W/2
-		if p.hpwlOf(nets) < before-1e-12 {
+		if e.hpwlOf(nets) < before-1e-12 {
 			s.cells[ka], s.cells[kb] = b, a
 			return true
 		}
@@ -348,12 +537,12 @@ func (p *placer) trySwap(s *segCells, ka, kb int) bool {
 	if cb.W > hiA-loA+1e-12 || ca.W > hiB-loB+1e-12 {
 		return false
 	}
-	nets := p.netsOf(a, b)
-	before := p.hpwlOf(nets)
+	nets := e.netsOf2(a, b)
+	before := e.hpwlOf(nets)
 	oldAX, oldBX := ca.X, cb.X
 	ca.X = math.Max(loB+ca.W/2, math.Min(hiB-ca.W/2, oldBX))
 	cb.X = math.Max(loA+cb.W/2, math.Min(hiA-cb.W/2, oldAX))
-	if p.hpwlOf(nets) < before-1e-12 {
+	if e.hpwlOf(nets) < before-1e-12 {
 		s.cells[ka], s.cells[kb] = b, a
 		return true
 	}
@@ -363,26 +552,32 @@ func (p *placer) trySwap(s *segCells, ka, kb int) bool {
 
 // reorderPass permutes cells inside sliding windows of each segment.
 func (p *placer) reorderPass(res *Result) int {
-	improved := 0
 	w := p.opt.Window
-	for _, s := range p.segs {
-		for start := 0; start+w <= len(s.cells); start++ {
-			if p.tryReorder(s, start, w) {
-				improved++
-				res.Reorders++
+	improved, ops := p.forRegions(func(e *evalCtx, r int) passCount {
+		var pc passCount
+		for si := p.regions[r].lo; si < p.regions[r].hi; si++ {
+			s := p.segs[si]
+			for start := 0; start+w <= len(s.cells); start++ {
+				if e.tryReorder(s, start, w) {
+					pc.improved++
+					pc.ops++
+				}
 			}
 		}
-	}
+		return pc
+	})
+	res.Reorders += ops
 	return improved
 }
 
 // tryReorder tests all permutations of the w cells starting at position
 // start of segment s, packing each permutation from the window's left
 // boundary, and keeps the best.
-func (p *placer) tryReorder(s *segCells, start, w int) bool {
+func (e *evalCtx) tryReorder(s *segCells, start, w int) bool {
+	p := e.p
 	d := p.d
-	win := make([]int, w)
-	copy(win, s.cells[start:start+w])
+	e.win = append(e.win[:0], s.cells[start:start+w]...)
+	win := e.win
 	lo, _ := p.gap(s, start)
 	_, hi := p.gap(s, start+w-1)
 	totalW := 0.0
@@ -392,16 +587,16 @@ func (p *placer) tryReorder(s *segCells, start, w int) bool {
 	if totalW > hi-lo+1e-12 {
 		return false
 	}
-	nets := p.netsOf(win...)
-	oldX := make([]float64, w)
-	for i, ci := range win {
-		oldX[i] = d.Cells[ci].X
+	nets := e.netsOf(win)
+	e.oldX = e.oldX[:0]
+	for _, ci := range win {
+		e.oldX = append(e.oldX, d.Cells[ci].X)
 	}
-	bestCost := p.hpwlOf(nets)
+	bestCost := e.hpwlOf(nets)
 	baseCost := bestCost
 	bestPerm := -1
 	perms := permutations(w)
-	var bestXs []float64
+	e.bestXs = e.bestXs[:0]
 	for pi, perm := range perms {
 		x := lo
 		for _, idx := range perm {
@@ -409,35 +604,53 @@ func (p *placer) tryReorder(s *segCells, start, w int) bool {
 			c.X = x + c.W/2
 			x += c.W
 		}
-		if cost := p.hpwlOf(nets); cost < bestCost-1e-12 {
+		if cost := e.hpwlOf(nets); cost < bestCost-1e-12 {
 			bestCost = cost
 			bestPerm = pi
-			bestXs = bestXs[:0]
+			e.bestXs = e.bestXs[:0]
 			for _, idx := range perm {
-				bestXs = append(bestXs, d.Cells[win[idx]].X)
+				e.bestXs = append(e.bestXs, d.Cells[win[idx]].X)
 			}
 		}
 	}
 	if bestPerm < 0 || bestCost >= baseCost-1e-12 {
 		for i, ci := range win {
-			d.Cells[ci].X = oldX[i]
+			d.Cells[ci].X = e.oldX[i]
 		}
 		return false
 	}
 	perm := perms[bestPerm]
 	for i, idx := range perm {
-		d.Cells[win[idx]].X = bestXs[i]
+		d.Cells[win[idx]].X = e.bestXs[i]
 		s.cells[start+i] = win[idx]
 	}
 	return true
 }
 
-// permutations returns all permutations of 0..n-1 (n small).
+// permCache holds the permutation tables for the common window sizes;
+// tables are built once and must never be mutated by callers.
+var permCache = func() [][][]int {
+	out := make([][][]int, 5)
+	for n := 1; n <= 4; n++ {
+		out[n] = buildPermutations(n)
+	}
+	return out
+}()
+
+// permutations returns all permutations of 0..n-1 (n small). The
+// returned tables are shared and read-only for n <= 4.
 func permutations(n int) [][]int {
+	if n >= 1 && n < len(permCache) {
+		return permCache[n]
+	}
+	return buildPermutations(n)
+}
+
+func buildPermutations(n int) [][]int {
 	if n == 1 {
 		return [][]int{{0}}
 	}
-	sub := permutations(n - 1)
+	sub := buildPermutations(n - 1)
 	var out [][]int
 	for _, s := range sub {
 		for pos := 0; pos <= len(s); pos++ {

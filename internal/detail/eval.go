@@ -1,0 +1,203 @@
+package detail
+
+import (
+	"math"
+	"sort"
+)
+
+// evalCtx is one worker's evaluation context: region-aware position
+// reads plus every scratch buffer the inner loops need, so a steady-
+// state improvement pass allocates nothing.
+//
+// Position visibility rule (the heart of the determinism argument, see
+// DESIGN.md "Parallel legalization and detailed placement"): during a
+// region-parallel pass each worker owns the cells of its current
+// region. It reads those live (including its own in-flight trial
+// moves), reads every other region's managed cells from the snapshot
+// taken at pass start, and reads unmanaged cells (fixed objects,
+// macros, pads) live — nobody moves those during cDP. A region's moves
+// are therefore a pure function of (snapshot, own region's state),
+// independent of how regions are scheduled onto workers.
+type evalCtx struct {
+	p *placer
+	// region is the region this worker currently owns; allLive
+	// short-circuits the snapshot redirect for the serial phases (ISM
+	// propose/commit run without concurrent mutation, so live reads are
+	// both safe and exact).
+	region  int32
+	allLive bool
+
+	// Hypothetically-moved cells (ISM cost evaluation): pos() returns
+	// the override instead of the stored position.
+	nmoved    int
+	movedCell [maxISMSet]int
+	movedX    [maxISMSet]float64
+	movedY    [maxISMSet]float64
+
+	// netsOf scratch: epoch-stamped membership test over nets (replaces
+	// the per-call map the serial implementation allocated).
+	netSeen []int64
+	epoch   int64
+	nets    []int
+	cbuf    [2]int
+
+	// optimalX scratch.
+	xs []float64
+
+	// Pass scratch: segment iteration order, reorder windows.
+	order  []int
+	win    []int
+	oldX   []float64
+	bestXs []float64
+
+	// ISM scratch.
+	setBuf []int
+	slotX  []float64
+	slotY  []float64
+	cost   []float64
+	hung   hungScratch
+}
+
+func newEvalCtx(p *placer) *evalCtx {
+	return &evalCtx{p: p, netSeen: make([]int64, len(p.d.Nets))}
+}
+
+// pos returns the cell's position as seen by this context: override
+// first, then the live/frozen split described on evalCtx.
+func (e *evalCtx) pos(ci int) (float64, float64) {
+	for k := 0; k < e.nmoved; k++ {
+		if e.movedCell[k] == ci {
+			return e.movedX[k], e.movedY[k]
+		}
+	}
+	if !e.allLive {
+		if r := e.p.regionOf[ci]; r >= 0 && r != e.region {
+			return e.p.snapX[ci], e.p.snapY[ci]
+		}
+	}
+	c := &e.p.d.Cells[ci]
+	return c.X, c.Y
+}
+
+// pushMoved installs a hypothetical position for ci (ISM cost rows).
+func (e *evalCtx) pushMoved(ci int, x, y float64) {
+	e.movedCell[e.nmoved] = ci
+	e.movedX[e.nmoved] = x
+	e.movedY[e.nmoved] = y
+	e.nmoved++
+}
+
+func (e *evalCtx) clearMoved() { e.nmoved = 0 }
+
+// netHPWL is d.NetHPWL through the context's position rule, over the
+// placer's flat pin view. Floating-point note: x is computed as
+// Ox + pos rather than the source structure's pos + Ox; IEEE addition
+// is commutative, so the result is bitwise identical.
+func (e *evalCtx) netHPWL(ni int) float64 {
+	p := e.p
+	lo, hi := p.netPinStart[ni], p.netPinStart[ni+1]
+	if hi-lo < 2 {
+		return 0
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for k := lo; k < hi; k++ {
+		x, y := p.netPinOx[k], p.netPinOy[k]
+		if ci := p.netPinCell[k]; ci >= 0 {
+			cx, cy := e.pos(int(ci))
+			x += cx
+			y += cy
+		}
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	return p.netW[ni] * ((maxX - minX) + (maxY - minY))
+}
+
+// hpwlOf sums netHPWL over the given nets.
+func (e *evalCtx) hpwlOf(nets []int) float64 {
+	s := 0.0
+	for _, ni := range nets {
+		s += e.netHPWL(ni)
+	}
+	return s
+}
+
+// bumpEpoch advances the membership epoch, resetting the stamp array on
+// the (practically unreachable) wraparound.
+func (e *evalCtx) bumpEpoch() {
+	e.epoch++
+	if e.epoch == math.MaxInt64 {
+		for i := range e.netSeen {
+			e.netSeen[i] = 0
+		}
+		e.epoch = 1
+	}
+}
+
+// netsOf returns the distinct nets touching the given cells, in first-
+// encounter (pin) order, in a scratch slice valid until the next
+// netsOf/independentSubset call on this context.
+func (e *evalCtx) netsOf(cells []int) []int {
+	e.bumpEpoch()
+	p := e.p
+	e.nets = e.nets[:0]
+	for _, ci := range cells {
+		for k := p.cellNetStart[ci]; k < p.cellNetStart[ci+1]; k++ {
+			ni := int(p.cellNet[k])
+			if e.netSeen[ni] != e.epoch {
+				e.netSeen[ni] = e.epoch
+				e.nets = append(e.nets, ni)
+			}
+		}
+	}
+	return e.nets
+}
+
+// netsOf1 and netsOf2 avoid a variadic allocation on the two hot arities.
+func (e *evalCtx) netsOf1(ci int) []int {
+	e.cbuf[0] = ci
+	return e.netsOf(e.cbuf[:1])
+}
+
+func (e *evalCtx) netsOf2(a, b int) []int {
+	e.cbuf[0], e.cbuf[1] = a, b
+	return e.netsOf(e.cbuf[:2])
+}
+
+// optimalX returns the x median of the other pins of the cell's nets:
+// the center of its optimal region, under the context's position rule.
+func (e *evalCtx) optimalX(ci int) float64 {
+	p := e.p
+	e.xs = e.xs[:0]
+	for k := p.cellNetStart[ci]; k < p.cellNetStart[ci+1]; k++ {
+		ni := p.cellNet[k]
+		for q := p.netPinStart[ni]; q < p.netPinStart[ni+1]; q++ {
+			cj := p.netPinCell[q]
+			if int(cj) == ci {
+				continue
+			}
+			x := p.netPinOx[q]
+			if cj >= 0 {
+				cx, _ := e.pos(int(cj))
+				x += cx
+			}
+			e.xs = append(e.xs, x)
+		}
+	}
+	if len(e.xs) == 0 {
+		return p.d.Cells[ci].X
+	}
+	sort.Float64s(e.xs)
+	return e.xs[len(e.xs)/2]
+}

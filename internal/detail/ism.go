@@ -3,85 +3,135 @@ package detail
 import (
 	"math"
 	"sort"
+
+	"eplace/internal/parallel"
 )
 
-// ismPass runs independent-set matching (the NTUplace3 cDP technique):
-// groups of equal-width cells that share no nets have interchangeable
-// slots, so their joint reassignment is an assignment problem solved
-// exactly by the Hungarian method. Groups are gathered per width from
-// nearby segments; each solved group is applied only when it improves
-// HPWL (the optimum of the matching, so it never regresses).
-func (p *placer) ismPass(cells []int, res *Result) int {
+// Independent-set matching (the NTUplace3 cDP technique): groups of
+// equal-width cells that share no nets have interchangeable slots, so
+// their joint reassignment is an assignment problem solved exactly by
+// the Hungarian method.
+//
+// The pass is two-phase so it parallelizes without giving up bitwise
+// determinism. Phase 1 (propose) builds the task list — width buckets,
+// sliding windows — from the frozen pass-start state and solves every
+// task's matching in parallel against that state without mutating it.
+// Phase 2 (commit) walks the proposals in task order on one goroutine:
+// a proposal whose cells all still sit bitwise-exactly on their
+// proposed slots is re-priced against the live layout (earlier commits
+// may have moved shared-net neighbors) and applied only if it still
+// improves; any proposal invalidated by an earlier commit is dropped.
+// The task list, each proposal, and the commit order are all pure
+// functions of the pass-start state, so the outcome is identical at
+// every worker count.
+
+// ismTask is one sliding window over a width bucket.
+type ismTask struct {
+	cells []int // window into the bucket's sorted cell list
+}
+
+// ismProposal is one task's solved matching, produced in parallel and
+// consumed serially. Buffers are reused across passes.
+type ismProposal struct {
+	ok     bool
+	set    []int     // independent subset, candidate order
+	slotX  []float64 // slot j = set[j]'s position at propose time
+	slotY  []float64
+	assign []int // set[i] moves to slot assign[i]
+}
+
+// ismWindow is the sliding-window size over each width bucket; windows
+// advance by half so neighboring windows overlap.
+const ismWindow = 12
+
+// buildISMTasks gathers movable cells by width and cuts sliding
+// windows. Determinism contract: buckets are processed in ascending
+// width order (never Go's randomized map order) and each bucket is
+// sorted by (x, cell index) — a strict total order — so the task list
+// is a pure function of the pass-start positions.
+func (p *placer) buildISMTasks() []ismTask {
 	d := p.d
-	// Bucket movable cells by width.
 	byWidth := map[float64][]int{}
-	for _, ci := range cells {
-		if _, ok := p.segOf[ci]; !ok {
-			continue
+	for _, s := range p.segs {
+		for _, ci := range s.cells {
+			byWidth[d.Cells[ci].W] = append(byWidth[d.Cells[ci].W], ci)
 		}
-		byWidth[d.Cells[ci].W] = append(byWidth[d.Cells[ci].W], ci)
 	}
-	// Determinism contract: groups are processed in ascending width
-	// order, never in Go's randomized map order. Each group's matching
-	// moves cells, which changes the HPWL every later group optimizes
-	// against — so group order is result-affecting and must be fixed
-	// (this was the last source of run-to-run flutter in the flow).
 	widths := make([]float64, 0, len(byWidth))
 	for w := range byWidth {
 		widths = append(widths, w)
 	}
 	sort.Float64s(widths)
-	improved := 0
+	var tasks []ismTask
 	for _, w := range widths {
 		group := byWidth[w]
 		if len(group) < 2 {
 			continue
 		}
-		// Deterministic intra-group order: by x position, cell index as
-		// the total tie-break (bucket append order is irrelevant once
-		// the comparator is a strict total order).
 		sort.Slice(group, func(a, b int) bool {
 			if d.Cells[group[a]].X != d.Cells[group[b]].X {
 				return d.Cells[group[a]].X < d.Cells[group[b]].X
 			}
 			return group[a] < group[b]
 		})
-		// Sliding windows over the bucket; within each window select an
-		// independent subset (no shared nets).
-		const window = 12
-		for start := 0; start < len(group); start += window / 2 {
-			end := start + window
+		for start := 0; start < len(group); start += ismWindow / 2 {
+			end := start + ismWindow
 			if end > len(group) {
 				end = len(group)
 			}
-			set := independentSubset(p, group[start:end], p.opt.ISMSetSize)
-			if len(set) >= 2 {
-				if p.solveISM(set) {
-					improved++
-					res.ISMRounds++
-				}
-			}
+			tasks = append(tasks, ismTask{cells: group[start:end]})
 			if end == len(group) {
 				break
 			}
 		}
 	}
+	return tasks
+}
+
+// ismPass runs the two-phase propose/commit scheme described above.
+func (p *placer) ismPass(res *Result) int {
+	tasks := p.buildISMTasks()
+	if len(tasks) == 0 {
+		return 0
+	}
+	if cap(p.ismProps) < len(tasks) {
+		p.ismProps = make([]ismProposal, len(tasks))
+	}
+	props := p.ismProps[:len(tasks)]
+	// Phase 1: parallel propose. Read-only against the live layout
+	// (nothing moves during this phase), disjoint writes per task slot.
+	parallel.For(p.workers, len(tasks), func(w, lo, hi int) {
+		e := p.evals[w]
+		e.allLive = true
+		for t := lo; t < hi; t++ {
+			e.proposeISM(tasks[t], &props[t])
+		}
+	})
+	// Phase 2: total-order serial commit.
+	improved := 0
+	for t := range props {
+		if p.commitISM(&props[t]) {
+			improved++
+			res.ISMRounds++
+		}
+	}
 	return improved
 }
 
-// independentSubset greedily picks cells sharing no nets. Determinism
-// contract: used is membership-only; the greedy scan follows the
-// caller's (sorted) candidate order.
-func independentSubset(p *placer, candidates []int, maxSize int) []int {
+// independentSubset greedily picks cells sharing no nets, following the
+// caller's (sorted) candidate order. The result lives in e.setBuf until
+// the next independentSubset call on this context.
+func (e *evalCtx) independentSubset(candidates []int, maxSize int) []int {
 	if maxSize <= 0 {
 		maxSize = 6
 	}
-	used := map[int]bool{}
-	var out []int
+	e.bumpEpoch()
+	d := e.p.d
+	e.setBuf = e.setBuf[:0]
 	for _, ci := range candidates {
 		ok := true
-		for _, pi := range p.d.Cells[ci].Pins {
-			if used[p.d.Pins[pi].Net] {
+		for _, pi := range d.Cells[ci].Pins {
+			if e.netSeen[d.Pins[pi].Net] == e.epoch {
 				ok = false
 				break
 			}
@@ -89,66 +139,109 @@ func independentSubset(p *placer, candidates []int, maxSize int) []int {
 		if !ok {
 			continue
 		}
-		out = append(out, ci)
-		for _, pi := range p.d.Cells[ci].Pins {
-			used[p.d.Pins[pi].Net] = true
+		e.setBuf = append(e.setBuf, ci)
+		for _, pi := range d.Cells[ci].Pins {
+			e.netSeen[d.Pins[pi].Net] = e.epoch
 		}
-		if len(out) >= maxSize {
+		if len(e.setBuf) >= maxSize {
 			break
 		}
 	}
-	return out
+	return e.setBuf
 }
 
-// solveISM builds the cost matrix over the set's slots and applies the
-// optimal assignment when it strictly improves total HPWL.
-func (p *placer) solveISM(set []int) bool {
-	d := p.d
+// proposeISM selects the task's independent subset, prices every
+// cell/slot pair against the pass-start state, and records the optimal
+// assignment when it improves. No layout mutation: hypothetical
+// positions go through the evalCtx override.
+func (e *evalCtx) proposeISM(t ismTask, prop *ismProposal) {
+	prop.ok = false
+	d := e.p.d
+	set := e.independentSubset(t.cells, e.p.opt.ISMSetSize)
 	n := len(set)
-	// Slots: the cells' current positions (x, y); widths are equal so
-	// any permutation stays legal.
-	type slot struct{ x, y float64 }
-	slots := make([]slot, n)
-	for k, ci := range set {
-		slots[k] = slot{d.Cells[ci].X, d.Cells[ci].Y}
+	if n < 2 {
+		return
 	}
+	e.slotX = e.slotX[:0]
+	e.slotY = e.slotY[:0]
+	for _, ci := range set {
+		e.slotX = append(e.slotX, d.Cells[ci].X)
+		e.slotY = append(e.slotY, d.Cells[ci].Y)
+	}
+	if cap(e.cost) < n*n {
+		e.cost = make([]float64, n*n)
+	}
+	cost := e.cost[:n*n]
 	// Cost matrix: HPWL of cell i's nets with the cell at slot j. The
 	// set's independence makes per-cell costs separable and exact.
-	cost := make([][]float64, n)
 	base := 0.0
 	for i, ci := range set {
-		cost[i] = make([]float64, n)
-		nets := p.netsOf(ci)
-		ox, oy := d.Cells[ci].X, d.Cells[ci].Y
-		base += p.hpwlOf(nets)
-		for j := range slots {
-			d.Cells[ci].X, d.Cells[ci].Y = slots[j].x, slots[j].y
-			cost[i][j] = p.hpwlOf(nets)
+		nets := e.netsOf1(ci)
+		base += e.hpwlOf(nets)
+		for j := 0; j < n; j++ {
+			e.pushMoved(ci, e.slotX[j], e.slotY[j])
+			cost[i*n+j] = e.hpwlOf(nets)
+			e.clearMoved()
 		}
-		d.Cells[ci].X, d.Cells[ci].Y = ox, oy
 	}
-	assign := hungarian(cost)
+	assign := e.hung.solve(n, cost)
 	total := 0.0
 	for i, j := range assign {
-		total += cost[i][j]
+		total += cost[i*n+j]
+	}
+	if total >= base-1e-9 {
+		return
+	}
+	prop.set = append(prop.set[:0], set...)
+	prop.slotX = append(prop.slotX[:0], e.slotX...)
+	prop.slotY = append(prop.slotY[:0], e.slotY...)
+	prop.assign = append(prop.assign[:0], assign...)
+	prop.ok = true
+}
+
+// commitISM validates a proposal against the live layout and applies
+// it. Runs serially in task order.
+func (p *placer) commitISM(prop *ismProposal) bool {
+	if !prop.ok {
+		return false
+	}
+	d := p.d
+	e := p.evals[0]
+	e.allLive = true
+	// Drop the proposal if any member moved since propose time: an
+	// earlier commit (overlapping window) won that cell.
+	for i, ci := range prop.set {
+		if d.Cells[ci].X != prop.slotX[i] || d.Cells[ci].Y != prop.slotY[i] {
+			return false
+		}
+	}
+	// Re-price on the live layout: earlier commits may have moved
+	// shared-net neighbors. Per-cell evaluation is exact because the
+	// set's nets are disjoint (independence).
+	base, total := 0.0, 0.0
+	for i, ci := range prop.set {
+		nets := e.netsOf1(ci)
+		base += e.hpwlOf(nets)
+		j := prop.assign[i]
+		e.pushMoved(ci, prop.slotX[j], prop.slotY[j])
+		total += e.hpwlOf(nets)
+		e.clearMoved()
 	}
 	if total >= base-1e-9 {
 		return false
 	}
 	// Apply: move cells and swap their slot bookkeeping. Slot j is
-	// exactly cell set[j]'s old position, so the segment a slot belongs
-	// to is indexed directly by slot number — no position-keyed lookup.
-	// (The previous composite float key x+1e7*y silently collided for
-	// coordinates beyond the scale factor or with fractional parts,
-	// corrupting segment bookkeeping on large designs.)
-	origSeg := make([]int, n) // slot index -> segment that owns it
-	for k, ci := range set {
+	// exactly cell set[j]'s position, so the segment a slot belongs to
+	// is indexed directly by slot number — no position-keyed lookup.
+	var origSeg [maxISMSet]int32
+	var touched [2 * maxISMSet]int32
+	nt := 0
+	for k, ci := range prop.set {
 		origSeg[k] = p.segOf[ci]
 	}
-	touched := map[int]bool{}
-	for i, j := range assign {
-		ci := set[i]
-		d.Cells[ci].X, d.Cells[ci].Y = slots[j].x, slots[j].y
+	for i, j := range prop.assign {
+		ci := prop.set[i]
+		d.Cells[ci].X, d.Cells[ci].Y = prop.slotX[j], prop.slotY[j]
 		newSeg := origSeg[j]
 		if p.segOf[ci] != newSeg {
 			// Remove from old segment list, add to the new one.
@@ -156,20 +249,25 @@ func (p *placer) solveISM(set []int) bool {
 			old.cells = removeOne(old.cells, ci)
 			p.segs[newSeg].cells = append(p.segs[newSeg].cells, ci)
 			p.segOf[ci] = newSeg
-			touched[newSeg] = true
+			p.regionOf[ci] = p.segRegion[newSeg]
+			touched[nt] = newSeg
+			nt++
 		}
-		touched[p.segOf[ci]] = true
+		touched[nt] = p.segOf[ci]
+		nt++
 	}
 	// Determinism contract: the per-segment re-sorts are independent,
 	// but iterate touched segments in sorted order anyway (and break
 	// equal-x ties by cell index) so the repair step has exactly one
 	// possible outcome.
-	touchedIdx := make([]int, 0, len(touched))
-	for si := range touched {
-		touchedIdx = append(touchedIdx, si)
-	}
-	sort.Ints(touchedIdx)
-	for _, si := range touchedIdx {
+	ts := touched[:nt]
+	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	var prev int32 = -1
+	for _, si := range ts {
+		if si == prev {
+			continue
+		}
+		prev = si
 		s := p.segs[si]
 		sort.Slice(s.cells, func(a, b int) bool {
 			if d.Cells[s.cells[a]].X != d.Cells[s.cells[b]].X {
@@ -190,23 +288,54 @@ func removeOne(list []int, v int) []int {
 	return list
 }
 
-// hungarian solves the square assignment problem, returning for each
-// row the assigned column with minimal total cost (Jonker-style O(n^3)
-// shortest augmenting path formulation).
-func hungarian(cost [][]float64) []int {
-	n := len(cost)
-	// Potentials and matching, 1-indexed internally.
-	u := make([]float64, n+1)
-	v := make([]float64, n+1)
-	pcol := make([]int, n+1) // pcol[j] = row matched to column j
-	way := make([]int, n+1)
+// hungScratch holds the assignment solver's working arrays so repeated
+// solves allocate nothing once warm.
+type hungScratch struct {
+	u, v, minv []float64
+	pcol, way  []int
+	used       []bool
+	assign     []int
+}
+
+func (s *hungScratch) grow(n int) {
+	if cap(s.u) < n+1 {
+		s.u = make([]float64, n+1)
+		s.v = make([]float64, n+1)
+		s.minv = make([]float64, n+1)
+		s.pcol = make([]int, n+1)
+		s.way = make([]int, n+1)
+		s.used = make([]bool, n+1)
+		s.assign = make([]int, n)
+	}
+	s.u = s.u[:n+1]
+	s.v = s.v[:n+1]
+	s.minv = s.minv[:n+1]
+	s.pcol = s.pcol[:n+1]
+	s.way = s.way[:n+1]
+	s.used = s.used[:n+1]
+	s.assign = s.assign[:n]
+	for j := 0; j <= n; j++ {
+		s.u[j] = 0
+		s.v[j] = 0
+		s.pcol[j] = 0
+		s.way[j] = 0
+	}
+}
+
+// solve finds the minimal-cost row->column assignment of the n x n
+// matrix cost (row-major, cost[i*n+j]) using the Jonker-style O(n^3)
+// shortest-augmenting-path formulation (1-indexed internally). The
+// returned slice is scratch, valid until the next solve.
+func (s *hungScratch) solve(n int, cost []float64) []int {
+	s.grow(n)
+	u, v, pcol, way := s.u, s.v, s.pcol, s.way
 	for i := 1; i <= n; i++ {
 		pcol[0] = i
 		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
+		minv, used := s.minv, s.used
 		for j := 0; j <= n; j++ {
 			minv[j] = math.Inf(1)
+			used[j] = false
 		}
 		for {
 			used[j0] = true
@@ -217,7 +346,7 @@ func hungarian(cost [][]float64) []int {
 				if used[j] {
 					continue
 				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				cur := cost[(i0-1)*n+(j-1)] - u[i0] - v[j]
 				if cur < minv[j] {
 					minv[j] = cur
 					way[j] = j0
@@ -246,11 +375,24 @@ func hungarian(cost [][]float64) []int {
 			j0 = j1
 		}
 	}
-	out := make([]int, n)
 	for j := 1; j <= n; j++ {
 		if pcol[j] > 0 {
-			out[pcol[j]-1] = j - 1
+			s.assign[pcol[j]-1] = j - 1
 		}
 	}
+	return s.assign
+}
+
+// hungarian solves the square assignment problem over a 2D cost matrix
+// (convenience wrapper around hungScratch.solve).
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	flat := make([]float64, n*n)
+	for i, row := range cost {
+		copy(flat[i*n:(i+1)*n], row)
+	}
+	var s hungScratch
+	out := make([]int, n)
+	copy(out, s.solve(n, flat))
 	return out
 }

@@ -155,11 +155,13 @@ func TestISMImprovesOverDisabled(t *testing.T) {
 
 func TestIndependentSubsetSharesNoNets(t *testing.T) {
 	d, cells := legalDesign(100, 11)
-	p := &placer{d: d, opt: Options{ISMSetSize: 6}, segOf: map[int]int{}}
+	p := &placer{d: d, opt: Options{ISMSetSize: 6}, workers: 1}
 	if err := p.buildSegments(cells); err != nil {
 		t.Fatal(err)
 	}
-	set := independentSubset(p, cells, 6)
+	p.buildPinView()
+	p.buildRegions()
+	set := p.evals[0].independentSubset(cells, 6)
 	seen := map[int]bool{}
 	for _, ci := range set {
 		for _, pi := range d.Cells[ci].Pins {

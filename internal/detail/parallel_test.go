@@ -1,0 +1,174 @@
+package detail
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eplace/internal/geom"
+	"eplace/internal/legalize"
+	"eplace/internal/netlist"
+)
+
+// bigLegalDesign builds a legalized design large enough to split into
+// several detail-placement regions (cell count above regionTargetCells)
+// with realistic connectivity.
+func bigLegalDesign(n int, seed int64) (*netlist.Design, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(float64(n) * 3 * 2 / 0.55)
+	side = math.Ceil(side/2) * 2
+	d := netlist.New("dp-big", geom.Rect{Hx: side, Hy: side})
+	legalize.BuildRows(d, 2, 1)
+	var cells []int
+	for i := 0; i < n; i++ {
+		cells = append(cells, d.AddCell(netlist.Cell{
+			W: float64(2 + rng.Intn(3)), H: 2,
+			X: 2 + rng.Float64()*(side-4), Y: 2 + rng.Float64()*(side-4),
+		}))
+	}
+	var pads []int
+	for i := 0; i < 8; i++ {
+		pads = append(pads, d.AddCell(netlist.Cell{
+			W: 1, H: 1, X: side * float64(i) / 8, Y: side - 0.5,
+			Fixed: true, Kind: netlist.Pad,
+		}))
+	}
+	for k := 0; k < n; k++ {
+		ni := d.AddNet("", 1)
+		deg := 2 + rng.Intn(3)
+		for p := 0; p < deg; p++ {
+			d.Connect(cells[rng.Intn(n)], ni, 0, 0)
+		}
+		if rng.Intn(5) == 0 {
+			d.Connect(pads[rng.Intn(len(pads))], ni, 0, 0)
+		}
+	}
+	if _, _, err := legalize.Cells(d, cells, legalize.Abacus); err != nil {
+		panic(err)
+	}
+	return d, cells
+}
+
+// TestDetailWorkersBitwiseIdentical is the cDP half of the back-end
+// determinism property: every worker count must produce bit-for-bit
+// the same layout and pass counters. 9000 cells split into 4 regions,
+// so region-parallel relocate/swap/reorder and the propose/commit ISM
+// protocol are all genuinely exercised.
+func TestDetailWorkersBitwiseIdentical(t *testing.T) {
+	var refX, refY []float64
+	var ref Result
+	for _, w := range []int{1, 2, 7} {
+		d, cells := bigLegalDesign(9000, 13)
+		res, err := Place(d, cells, Options{Workers: w, Passes: 2})
+		if err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		if err := legalize.CheckLegal(d, cells); err != nil {
+			t.Fatalf("workers %d: not legal after detail: %v", w, err)
+		}
+		if res.HPWLAfter >= res.HPWLBefore {
+			t.Errorf("workers %d: no improvement (%v -> %v)", w, res.HPWLBefore, res.HPWLAfter)
+		}
+		if w == 1 {
+			ref = res
+			for _, ci := range cells {
+				refX = append(refX, d.Cells[ci].X)
+				refY = append(refY, d.Cells[ci].Y)
+			}
+			continue
+		}
+		if res != ref {
+			t.Errorf("workers %d: result %+v != serial %+v", w, res, ref)
+		}
+		for k, ci := range cells {
+			if d.Cells[ci].X != refX[k] || d.Cells[ci].Y != refY[k] {
+				t.Fatalf("workers %d: cell %d at (%v, %v), serial (%v, %v)",
+					w, ci, d.Cells[ci].X, d.Cells[ci].Y, refX[k], refY[k])
+			}
+		}
+	}
+}
+
+// buildPlacer assembles a ready-to-pass placer for the alloc and
+// microbenchmark harnesses.
+func buildPlacer(d *netlist.Design, cells []int, workers int) *placer {
+	opt := Options{}
+	opt.defaults()
+	opt.Workers = workers
+	p := &placer{d: d, opt: opt, workers: workers}
+	if err := p.buildSegments(cells); err != nil {
+		panic(err)
+	}
+	p.buildPinView()
+	p.buildRegions()
+	return p
+}
+
+// TestPassAllocs guards the churn satellite: after one warm-up sweep,
+// the relocate/swap/reorder inner loops must run allocation-free (the
+// only steady-state allocations allowed are the per-pass fork-join
+// closures, a handful of objects, not per-cell garbage).
+func TestPassAllocs(t *testing.T) {
+	d, cells := legalDesign(400, 3)
+	p := buildPlacer(d, cells, 1)
+	var res Result
+	p.relocatePass(&res)
+	p.swapPass(&res)
+	p.reorderPass(&res)
+	const limit = 8
+	if a := testing.AllocsPerRun(5, func() { p.relocatePass(&res) }); a > limit {
+		t.Errorf("relocatePass allocates %v objects per run, want <= %d", a, limit)
+	}
+	if a := testing.AllocsPerRun(5, func() { p.swapPass(&res) }); a > limit {
+		t.Errorf("swapPass allocates %v objects per run, want <= %d", a, limit)
+	}
+	if a := testing.AllocsPerRun(5, func() { p.reorderPass(&res) }); a > limit {
+		t.Errorf("reorderPass allocates %v objects per run, want <= %d", a, limit)
+	}
+}
+
+// TestHungarianAllocs: the flat assignment solver reuses its scratch.
+func TestHungarianAllocs(t *testing.T) {
+	var s hungScratch
+	n := 6
+	cost := make([]float64, n*n)
+	for i := range cost {
+		cost[i] = float64((i*7919)%101) / 10
+	}
+	s.solve(n, cost) // warm the scratch
+	if a := testing.AllocsPerRun(100, func() { s.solve(n, cost) }); a != 0 {
+		t.Errorf("hungScratch.solve allocates %v objects per run, want 0", a)
+	}
+}
+
+// TestPermutationsCached: window-sized tables come from the shared cache.
+func TestPermutationsCached(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		if a := testing.AllocsPerRun(100, func() { permutations(n) }); a != 0 {
+			t.Errorf("permutations(%d) allocates %v objects per run, want 0", n, a)
+		}
+	}
+	if got := len(permutations(4)); got != 24 {
+		t.Errorf("permutations(4) has %d entries, want 24", got)
+	}
+}
+
+// BenchmarkDetailPass measures one full improvement pass (reorder +
+// swap + ISM + relocate) over a 5000-cell legalized design at 1 worker.
+func BenchmarkDetailPass(b *testing.B) {
+	d, cells := bigLegalDesign(5000, 7)
+	saveX := make([]float64, len(d.Cells))
+	saveY := make([]float64, len(d.Cells))
+	for i := range d.Cells {
+		saveX[i], saveY[i] = d.Cells[i].X, d.Cells[i].Y
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i := range d.Cells {
+			d.Cells[i].X, d.Cells[i].Y = saveX[i], saveY[i]
+		}
+		if _, err := Place(d, cells, Options{Passes: 1, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

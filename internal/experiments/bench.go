@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"eplace/internal/core"
+	"eplace/internal/detail"
 	"eplace/internal/fft"
+	"eplace/internal/legalize"
 	"eplace/internal/metrics"
 	"eplace/internal/netlist"
 	"eplace/internal/parallel"
@@ -188,6 +190,62 @@ func KernelMicrobench(workers int, budget time.Duration) []telemetry.MicroBench 
 				}
 				out = append(out, mb)
 			}
+		}
+	}
+
+	// Back-end rows: banded row legalization and one full cDP
+	// improvement pass (reorder + swap + ISM + relocate) on a 5000-cell
+	// circuit, serial and — on multicore hosts — at the session worker
+	// count. Positions are restored between runs so every measurement
+	// legalizes/refines the same input.
+	{
+		const n = 5000
+		d := synth.Generate(synth.Spec{Name: "backend-micro", NumCells: n})
+		std := d.MovableOf(netlist.StdCell)
+		if len(d.Rows) == 0 {
+			legalize.BuildRows(d, d.Cells[std[0]].H, 0)
+		}
+		saveX := make([]float64, len(d.Cells))
+		saveY := make([]float64, len(d.Cells))
+		snap := func() {
+			for i := range d.Cells {
+				saveX[i], saveY[i] = d.Cells[i].X, d.Cells[i].Y
+			}
+		}
+		restore := func() {
+			for i := range d.Cells {
+				d.Cells[i].X, d.Cells[i].Y = saveX[i], saveY[i]
+			}
+		}
+		counts := []int{1}
+		if parallel.Count(workers) > 1 {
+			counts = append(counts, parallel.Count(workers))
+		}
+		snap()
+		for _, w := range counts {
+			w := w
+			out = append(out, timeKernel(fmt.Sprintf("legalize/Cells_%d_w%d", n, w), budget,
+				func() {
+					restore()
+					if _, _, err := legalize.CellsWorkers(d, std, legalize.Abacus, w); err != nil {
+						panic(err)
+					}
+				}))
+		}
+		restore()
+		if _, _, err := legalize.CellsWorkers(d, std, legalize.Abacus, 1); err != nil {
+			panic(err)
+		}
+		snap() // legalized layout is the detail-pass input
+		for _, w := range counts {
+			w := w
+			out = append(out, timeKernel(fmt.Sprintf("detail/Pass_%d_w%d", n, w), budget,
+				func() {
+					restore()
+					if _, err := detail.Place(d, std, detail.Options{Passes: 1, Workers: w}); err != nil {
+						panic(err)
+					}
+				}))
 		}
 	}
 

@@ -123,7 +123,7 @@ func Run(d *netlist.Design, p Placer, opt RunOptions) metrics.Report {
 // for the baseline placers.
 func finishLayout(d *netlist.Design, stdCells, movMacros []int, opt RunOptions, failed *bool) bool {
 	if len(movMacros) > 0 {
-		res := legalize.Macros(d, movMacros, legalize.MLGOptions{})
+		res := legalize.Macros(d, movMacros, legalize.MLGOptions{Workers: opt.Workers})
 		if !res.Legal {
 			*failed = true
 			return false
@@ -132,12 +132,12 @@ func finishLayout(d *netlist.Design, stdCells, movMacros []int, opt RunOptions, 
 	if len(d.Rows) == 0 {
 		return false
 	}
-	if _, _, err := legalize.Cells(d, stdCells, legalize.Abacus); err != nil {
+	if _, _, err := legalize.CellsWorkers(d, stdCells, legalize.Abacus, opt.Workers); err != nil {
 		*failed = true
 		return false
 	}
 	if !opt.SkipDetail {
-		if _, err := detail.Place(d, stdCells, detail.Options{}); err != nil {
+		if _, err := detail.Place(d, stdCells, detail.Options{Workers: opt.Workers}); err != nil {
 			*failed = true
 			return false
 		}

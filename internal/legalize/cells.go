@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"eplace/internal/netlist"
+	"eplace/internal/parallel"
 )
 
 // Method selects the standard-cell legalization algorithm.
@@ -36,14 +37,37 @@ type seg struct {
 	used     float64
 }
 
+// Band partition constants: rows are grouped into contiguous bands of
+// at least bandRows rows and roughly bandCellsTarget cells each, capped
+// at maxBands. Small designs get one band — exactly the unbanded
+// algorithm — while 50K+-cell designs split into enough bands to keep a
+// worker pool busy. The partition is a pure function of the design
+// (never the worker count), so banded legalization is
+// bitwise-identical at every worker count.
+const (
+	bandRows        = 8
+	bandCellsTarget = 2000
+	maxBands        = 64
+)
+
 // Cells legalizes the given standard cells onto the design's rows,
 // minimizing displacement from their global-placement positions.
 // Returns the total and maximum displacement, or an error if capacity
-// is insufficient.
+// is insufficient. Equivalent to CellsWorkers with workers=1.
 func Cells(d *netlist.Design, cells []int, method Method) (total, max float64, err error) {
+	return CellsWorkers(d, cells, method, 1)
+}
+
+// CellsWorkers is Cells sharded over row bands: each band legalizes its
+// own cells against its own rows in parallel (disjoint state), cells
+// that do not fit inside their band spill into a serial second pass
+// over all rows, and displacement sums reduce in fixed band order.
+// Results are bitwise-identical at every worker count (0 = all cores).
+func CellsWorkers(d *netlist.Design, cells []int, method Method, workers int) (total, max float64, err error) {
 	if len(d.Rows) == 0 {
 		return 0, 0, fmt.Errorf("legalize: design has no rows")
 	}
+	nw := parallel.Count(workers)
 	rawSegs := FreeSegments(d)
 	rows := make([][]seg, len(d.Rows))
 	for ri := range rawSegs {
@@ -68,101 +92,199 @@ func Cells(d *netlist.Design, cells []int, method Method) (total, max float64, e
 		rowY[i] = r.Y
 	}
 
+	// Contiguous row bands (design-derived boundaries; see constants).
+	nb := len(d.Rows) / bandRows
+	if byCells := len(cells) / bandCellsTarget; byCells < nb {
+		nb = byCells
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > maxBands {
+		nb = maxBands
+	}
+	bandLo := make([]int, nb+1)
+	for b := 0; b <= nb; b++ {
+		bandLo[b] = b * len(d.Rows) / nb
+	}
+	bandOfRow := make([]int, len(d.Rows))
+	for b := 0; b < nb; b++ {
+		for ri := bandLo[b]; ri < bandLo[b+1]; ri++ {
+			bandOfRow[ri] = b
+		}
+	}
+	// Assign each cell (x order preserved) to the band of its nearest row.
+	bandCells := make([][]int, nb)
 	for _, ci := range order {
 		c := &d.Cells[ci]
-		desiredX := c.X - c.W/2
-		desiredY := c.Y - c.H/2
-		bestCost := math.Inf(1)
-		bestRow, bestSeg := -1, -1
-		var bestX float64
-		// Try rows outward from the nearest until the row-distance alone
-		// exceeds the best cost found.
-		nearest := nearestRow(rowY, desiredY)
-		for radius := 0; ; radius++ {
-			any := false
-			for _, ri := range []int{nearest - radius, nearest + radius} {
-				if ri < 0 || ri >= len(d.Rows) || (radius == 0 && ri != nearest) {
+		b := bandOfRow[nearestRow(rowY, c.Y-c.H/2)]
+		bandCells[b] = append(bandCells[b], ci)
+	}
+
+	// Parallel band pass: bands own disjoint row ranges and disjoint
+	// cells, so they legalize independently. Cells with no in-band room
+	// become per-band spill lists instead of errors.
+	spills := make([][]int, nb)
+	bandTotal := make([]float64, nb)
+	bandMax := make([]float64, nb)
+	parallel.For(nw, nb, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			for _, ci := range bandCells[b] {
+				disp, ok := placeOne(d, rows, rowY, method, ci, bandLo[b], bandLo[b+1])
+				if !ok {
+					spills[b] = append(spills[b], ci)
 					continue
 				}
-				rowDist := math.Abs(d.Rows[ri].Y - desiredY)
-				if rowDist >= bestCost {
-					continue
+				bandTotal[b] += disp
+				if disp > bandMax[b] {
+					bandMax[b] = disp
 				}
-				any = true
-				for si := range rows[ri] {
-					s := &rows[ri][si]
-					if s.hx-s.lx-s.used < c.W {
-						continue
-					}
-					var x float64
-					if method == Tetris {
-						x = tetrisTrial(s, desiredX, c.W)
-					} else {
-						x = abacusTrial(s, desiredX, c.W)
-					}
-					if math.IsNaN(x) {
-						continue
-					}
-					cost := math.Abs(x-desiredX) + rowDist
-					if cost < bestCost {
-						bestCost, bestRow, bestSeg, bestX = cost, ri, si, x
-					}
-				}
-			}
-			if !any && radius > 0 {
-				break
-			}
-			if radius > len(d.Rows) {
-				break
 			}
 		}
-		if bestRow < 0 {
+	})
+	// Fixed-order reduction over bands.
+	for b := 0; b < nb; b++ {
+		total += bandTotal[b]
+		if bandMax[b] > max {
+			max = bandMax[b]
+		}
+	}
+
+	// Serial spill pass over all rows, in (x, index) order. Only here
+	// can legalization fail: the whole design is out of capacity.
+	var spill []int
+	for b := range spills {
+		spill = append(spill, spills[b]...)
+	}
+	sort.Slice(spill, func(a, b int) bool {
+		ca, cb := &d.Cells[spill[a]], &d.Cells[spill[b]]
+		if ca.X != cb.X {
+			return ca.X < cb.X
+		}
+		return spill[a] < spill[b]
+	})
+	for _, ci := range spill {
+		disp, ok := placeOne(d, rows, rowY, method, ci, 0, len(d.Rows))
+		if !ok {
+			c := &d.Cells[ci]
 			return total, max, fmt.Errorf("legalize: no room for cell %d (%s), w=%v", ci, c.Name, c.W)
 		}
-		row := &d.Rows[bestRow]
-		s := &rows[bestRow][bestSeg]
-		var placedX float64
-		if method == Tetris {
-			placedX = tetrisCommit(s, ci, bestX, c.W)
-		} else {
-			placedX = abacusCommit(d, s, ci, desiredX, c.W)
-		}
-		c.X = placedX + c.W/2
-		c.Y = row.Y + c.H/2
-		disp := math.Abs(c.X-(desiredX+c.W/2)) + math.Abs(c.Y-(desiredY+c.H/2))
 		total += disp
 		if disp > max {
 			max = disp
 		}
-		s.used += c.W
 	}
 
 	// Final per-segment fixups: snap cluster positions to sites and
 	// write cells back (Abacus moves earlier cells when clusters
-	// collapse). Snapping is all-or-nothing per segment: if any cluster
-	// cannot be site-aligned without colliding (fractional segment
-	// boundaries can force this), the whole segment keeps the exact
-	// cluster positions, which are legal by construction.
-	for ri := range rows {
-		row := &d.Rows[ri]
-		for si := range rows[ri] {
-			s := &rows[ri][si]
-			sort.Slice(s.clusters, func(a, b int) bool { return s.clusters[a].x < s.clusters[b].x })
-			xs, ok := snappedSegment(row, s)
-			if !ok {
-				xs = unsnappedSegment(s)
+	// collapse). Rows are disjoint, so the fixup parallelizes cleanly.
+	parallel.For(nw, len(rows), func(_, lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			fixupRow(d, &d.Rows[ri], rows[ri])
+		}
+	})
+	return total, max, nil
+}
+
+// placeOne legalizes one cell into the rows of [rowLo, rowHi), trying
+// rows outward from the nearest until the row-distance alone exceeds
+// the best cost found. Returns ok=false when no segment in range fits.
+func placeOne(d *netlist.Design, rows [][]seg, rowY []float64, method Method, ci, rowLo, rowHi int) (disp float64, ok bool) {
+	c := &d.Cells[ci]
+	desiredX := c.X - c.W/2
+	desiredY := c.Y - c.H/2
+	bestCost := math.Inf(1)
+	bestRow, bestSeg := -1, -1
+	var bestX float64
+	nearest := nearestRow(rowY, desiredY)
+	if nearest < rowLo {
+		nearest = rowLo
+	}
+	if nearest >= rowHi {
+		nearest = rowHi - 1
+	}
+	for radius := 0; ; radius++ {
+		any := false
+		for side := 0; side < 2; side++ {
+			ri := nearest - radius
+			if side == 1 {
+				ri = nearest + radius
 			}
-			for k := range s.clusters {
-				x := xs[k]
-				for _, ci := range s.clusters[k].cells {
-					c := &d.Cells[ci]
-					c.X = x + c.W/2
-					x += c.W
+			if ri < rowLo || ri >= rowHi || (radius == 0 && side == 1) {
+				continue
+			}
+			rowDist := math.Abs(d.Rows[ri].Y - desiredY)
+			if rowDist >= bestCost {
+				continue
+			}
+			any = true
+			for si := range rows[ri] {
+				s := &rows[ri][si]
+				if s.hx-s.lx-s.used < c.W {
+					continue
+				}
+				var x float64
+				if method == Tetris {
+					x = tetrisTrial(s, desiredX, c.W)
+				} else {
+					x = abacusTrial(s, desiredX, c.W)
+				}
+				if math.IsNaN(x) {
+					continue
+				}
+				cost := math.Abs(x-desiredX) + rowDist
+				if cost < bestCost {
+					bestCost, bestRow, bestSeg, bestX = cost, ri, si, x
 				}
 			}
 		}
+		if !any && radius > 0 {
+			break
+		}
+		if radius > rowHi-rowLo {
+			break
+		}
 	}
-	return total, max, nil
+	if bestRow < 0 {
+		return 0, false
+	}
+	row := &d.Rows[bestRow]
+	s := &rows[bestRow][bestSeg]
+	var placedX float64
+	if method == Tetris {
+		placedX = tetrisCommit(s, ci, bestX, c.W)
+	} else {
+		placedX = abacusCommit(s, ci, desiredX, c.W)
+	}
+	c.X = placedX + c.W/2
+	c.Y = row.Y + c.H/2
+	disp = math.Abs(c.X-(desiredX+c.W/2)) + math.Abs(c.Y-(desiredY+c.H/2))
+	s.used += c.W
+	return disp, true
+}
+
+// fixupRow snaps one row's cluster positions to sites and writes cells
+// back. Snapping is all-or-nothing per segment: if any cluster cannot
+// be site-aligned without colliding (fractional segment boundaries can
+// force this), the whole segment keeps the exact cluster positions,
+// which are legal by construction.
+func fixupRow(d *netlist.Design, row *netlist.Row, segs []seg) {
+	for si := range segs {
+		s := &segs[si]
+		sort.Slice(s.clusters, func(a, b int) bool { return s.clusters[a].x < s.clusters[b].x })
+		xs, ok := snappedSegment(row, s)
+		if !ok {
+			xs = unsnappedSegment(s)
+		}
+		for k := range s.clusters {
+			x := xs[k]
+			for _, ci := range s.clusters[k].cells {
+				c := &d.Cells[ci]
+				c.X = x + c.W/2
+				x += c.W
+			}
+		}
+	}
 }
 
 // snappedSegment computes site-aligned cluster left edges, or ok=false
@@ -255,30 +377,41 @@ func tetrisCommit(s *seg, ci int, x, w float64) float64 {
 
 // abacusTrial simulates adding a cell (desired left edge desiredX,
 // width w) to the segment and returns the final x the cell would get.
+// The simulation runs the cluster recurrence backward over the real
+// clusters without copying or mutating them: the would-be merged tail
+// is carried in a virtual cluster whose fields follow exactly the same
+// arithmetic (expression-for-expression) as abacusCommit, so trial and
+// commit are bitwise-consistent.
 func abacusTrial(s *seg, desiredX, w float64) float64 {
-	x, _ := abacusPlace(s, -1, desiredX, w, false)
-	return x
-}
-
-// abacusCommit adds the cell permanently and returns its final x.
-func abacusCommit(d *netlist.Design, s *seg, ci int, desiredX, w float64) float64 {
-	x, _ := abacusPlace(s, ci, desiredX, w, true)
-	return x
-}
-
-// abacusPlace implements the Abacus cluster recurrence on one segment.
-// When commit is false the segment state is restored afterwards.
-func abacusPlace(s *seg, ci int, desiredX, w float64, commit bool) (float64, bool) {
-	// Candidate cluster for the new cell.
-	nc := cluster{e: 1, q: desiredX, w: w}
-	if commit {
-		nc.cells = []int{ci}
+	cur := cluster{e: 1, q: desiredX, w: w}
+	cur.x = clampX(cur.q/cur.e, s.lx, s.hx, cur.w)
+	for k := len(s.clusters) - 1; k >= 0; k-- {
+		prev := &s.clusters[k]
+		if prev.x+prev.w <= cur.x+1e-12 {
+			break
+		}
+		merged := cluster{
+			q: prev.q + (cur.q - cur.e*prev.w),
+			e: prev.e + cur.e,
+			w: prev.w + cur.w,
+		}
+		merged.x = clampX(merged.q/merged.e, s.lx, s.hx, merged.w)
+		cur = merged
 	}
-	nc.x = clampX(nc.q/nc.e, s.lx, s.hx, nc.w)
+	if cur.x < s.lx-1e-9 || cur.x+cur.w > s.hx+1e-9 {
+		return math.NaN()
+	}
+	return cur.x + cur.w - w
+}
 
-	saved := s.clusters
-	work := append([]cluster(nil), s.clusters...)
-	work = append(work, nc)
+// abacusCommit adds the cell permanently (in place, no cluster-slice
+// copy) and returns its final x. The caller has already validated the
+// fit via abacusTrial on the identical segment state.
+func abacusCommit(s *seg, ci int, desiredX, w float64) float64 {
+	nc := cluster{e: 1, q: desiredX, w: w, cells: []int{ci}}
+	nc.x = clampX(nc.q/nc.e, s.lx, s.hx, nc.w)
+	s.clusters = append(s.clusters, nc)
+	work := s.clusters
 	// Collapse: merge the last cluster into its predecessor while they
 	// overlap, then re-clamp.
 	for len(work) >= 2 {
@@ -287,32 +420,16 @@ func abacusPlace(s *seg, ci int, desiredX, w float64, commit bool) (float64, boo
 		if prev.x+prev.w <= last.x+1e-12 {
 			break
 		}
-		// Merge last into prev.
 		prev.q += last.q - last.e*prev.w
 		prev.e += last.e
-		if commit {
-			prev.cells = append(prev.cells, last.cells...)
-		}
+		prev.cells = append(prev.cells, last.cells...)
 		prev.w += last.w
 		prev.x = clampX(prev.q/prev.e, s.lx, s.hx, prev.w)
 		work = work[:len(work)-1]
 	}
-	// Fit check.
-	tail := work[len(work)-1]
-	if tail.x < s.lx-1e-9 || tail.x+tail.w > s.hx+1e-9 {
-		if !commit {
-			s.clusters = saved
-		}
-		return math.NaN(), false
-	}
-	// Locate the new cell's x: it is the last cell of the tail cluster.
-	x := tail.x + tail.w - w
-	if commit {
-		s.clusters = work
-	} else {
-		s.clusters = saved
-	}
-	return x, true
+	s.clusters = work
+	tail := &work[len(work)-1]
+	return tail.x + tail.w - w
 }
 
 func clampX(x, lx, hx, w float64) float64 {

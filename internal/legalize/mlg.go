@@ -3,9 +3,11 @@ package legalize
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"eplace/internal/geom"
 	"eplace/internal/netlist"
+	"eplace/internal/parallel"
 	"eplace/internal/telemetry"
 )
 
@@ -27,6 +29,12 @@ type MLGOptions struct {
 	// the paper mentions but disables to follow contest protocols
 	// (Sec. III). Pin offsets rotate with the macro.
 	AllowOrient bool
+	// Workers parallelizes the state build (coverage splat, net HPWL
+	// cache, per-macro terms): 0 uses all cores. The annealing loop
+	// itself consumes one sequential RNG stream and stays serial.
+	// Results are bitwise-identical at every setting: float reductions
+	// run over a fixed shard structure independent of the worker count.
+	Workers int
 	// Telemetry, when non-nil, receives one Sample per outer iteration
 	// (stage "mLG": HPWL=W, Energy=D, Overlap=Om, the Fig. 5 metrics)
 	// plus move/accept counters.
@@ -79,7 +87,15 @@ type mlgState struct {
 	W, D, Om float64
 }
 
-func newMLGState(d *netlist.Design, macros []int, gridM int) *mlgState {
+// mlgShards is the fixed shard count for the state build's float
+// reductions (coverage splat, W, D, Om). Determinism contract: the
+// shard structure — and therefore the floating-point grouping — is a
+// constant, never a function of the worker count, so every worker
+// count sums in exactly the same order.
+const mlgShards = 64
+
+func newMLGState(d *netlist.Design, macros []int, gridM, workers int) *mlgState {
+	nw := parallel.Count(workers)
 	s := &mlgState{
 		d: d, macros: macros, m: gridM,
 		covGrid: make([]float64, gridM*gridM),
@@ -87,41 +103,98 @@ func newMLGState(d *netlist.Design, macros []int, gridM int) *mlgState {
 		binH:    d.Region.H() / float64(gridM),
 		dCov:    make([]float64, len(macros)),
 	}
-	// Rasterize standard cells (movable or fixed, non-macro, non-filler).
-	for i := range d.Cells {
-		c := &d.Cells[i]
-		if c.Kind == netlist.StdCell {
-			s.splat(c.Rect())
-		}
+	// Rasterize standard cells (movable or fixed, non-macro, non-filler)
+	// into one sub-grid per fixed cell shard, then reduce each bin over
+	// shards in shard order. Each shard costs a gridM² sub-grid, so the
+	// shard count is design-derived — small designs use one shard (the
+	// plain serial splat, no copy) — but never worker-derived, keeping
+	// the float grouping identical at every worker count.
+	nb := gridM * gridM
+	splatShards := len(d.Cells) / 4096
+	if splatShards < 1 {
+		splatShards = 1
 	}
-	// Cache net HPWL and per-macro net lists.
-	s.netHPWL = make([]float64, len(d.Nets))
-	for ni := range d.Nets {
-		s.netHPWL[ni] = d.NetHPWL(ni)
-		s.W += s.netHPWL[ni]
+	if splatShards > mlgShards {
+		splatShards = mlgShards
 	}
-	s.macroNets = make([][]int, len(macros))
-	for k, mi := range macros {
-		// Determinism contract: seen is membership-only; macroNets[k]
-		// is built in the macro's deterministic pin order.
-		seen := map[int]bool{}
-		for _, pi := range d.Cells[mi].Pins {
-			ni := d.Pins[pi].Net
-			if !seen[ni] {
-				seen[ni] = true
-				s.macroNets[k] = append(s.macroNets[k], ni)
+	if splatShards == 1 {
+		for i := range d.Cells {
+			c := &d.Cells[i]
+			if c.Kind == netlist.StdCell {
+				splatInto(s.covGrid, s, c.Rect())
 			}
 		}
+	} else {
+		shardGrids := make([]float64, splatShards*nb)
+		parallel.For(nw, splatShards, func(_, lo, hi int) {
+			for sh := lo; sh < hi; sh++ {
+				grid := shardGrids[sh*nb : (sh+1)*nb]
+				c0 := sh * len(d.Cells) / splatShards
+				c1 := (sh + 1) * len(d.Cells) / splatShards
+				for i := c0; i < c1; i++ {
+					c := &d.Cells[i]
+					if c.Kind == netlist.StdCell {
+						splatInto(grid, s, c.Rect())
+					}
+				}
+			}
+		})
+		parallel.For(nw, nb, func(_, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				acc := 0.0
+				for sh := 0; sh < splatShards; sh++ {
+					acc += shardGrids[sh*nb+b]
+				}
+				s.covGrid[b] = acc
+			}
+		})
 	}
+	// Cache net HPWL (disjoint writes) and reduce W over fixed net shards.
+	s.netHPWL = make([]float64, len(d.Nets))
+	var wPart [mlgShards]float64
+	parallel.For(nw, mlgShards, func(_, lo, hi int) {
+		for sh := lo; sh < hi; sh++ {
+			n0 := sh * len(d.Nets) / mlgShards
+			n1 := (sh + 1) * len(d.Nets) / mlgShards
+			acc := 0.0
+			for ni := n0; ni < n1; ni++ {
+				s.netHPWL[ni] = d.NetHPWL(ni)
+				acc += s.netHPWL[ni]
+			}
+			wPart[sh] = acc
+		}
+	})
+	for sh := 0; sh < mlgShards; sh++ {
+		s.W += wPart[sh]
+	}
+	// Per-macro terms: disjoint writes per macro, serial in-order sums.
+	s.macroNets = make([][]int, len(macros))
+	parallel.For(nw, len(macros), func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			mi := macros[k]
+			// Determinism contract: seen is membership-only; macroNets[k]
+			// is built in the macro's deterministic pin order.
+			seen := map[int]bool{}
+			for _, pi := range d.Cells[mi].Pins {
+				ni := d.Pins[pi].Net
+				if !seen[ni] {
+					seen[ni] = true
+					s.macroNets[k] = append(s.macroNets[k], ni)
+				}
+			}
+			s.dCov[k] = s.coverage(d.Cells[mi].Rect())
+		}
+	})
 	for k := range macros {
-		s.dCov[k] = s.coverage(d.Cells[macros[k]].Rect())
 		s.D += s.dCov[k]
 	}
-	s.Om = s.totalMacroOverlap()
+	s.Om = s.macroOverlapWorkers(nw)
 	return s
 }
 
-func (s *mlgState) splat(r geom.Rect) {
+// splatInto rasterizes rectangle r into the given grid (one shard's
+// sub-grid during the parallel state build).
+func splatInto(grid []float64, s *mlgState, r geom.Rect) {
 	r = r.Intersect(s.d.Region)
 	if r.Empty() {
 		return
@@ -142,7 +215,7 @@ func (s *mlgState) splat(r geom.Rect) {
 			bx := s.d.Region.Lx + float64(i)*s.binW
 			ox := math.Min(r.Hx, bx+s.binW) - math.Max(r.Lx, bx)
 			if ox > 0 {
-				s.covGrid[j*s.m+i] += ox * oy
+				grid[j*s.m+i] += ox * oy
 			}
 		}
 	}
@@ -181,12 +254,30 @@ func (s *mlgState) coverage(r geom.Rect) float64 {
 }
 
 func (s *mlgState) totalMacroOverlap() float64 {
-	total := 0.0
-	for i := 0; i < len(s.macros); i++ {
-		ri := s.d.Cells[s.macros[i]].Rect()
-		for j := i + 1; j < len(s.macros); j++ {
-			total += ri.Overlap(s.d.Cells[s.macros[j]].Rect())
+	return s.macroOverlapWorkers(1)
+}
+
+// macroOverlapWorkers sums pairwise macro overlap with one partial per
+// leading macro (disjoint writes), reduced in macro order — the same
+// float grouping at every worker count.
+func (s *mlgState) macroOverlapWorkers(workers int) float64 {
+	if len(s.macros) == 0 {
+		return 0
+	}
+	parts := make([]float64, len(s.macros))
+	parallel.For(workers, len(s.macros), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := s.d.Cells[s.macros[i]].Rect()
+			acc := 0.0
+			for j := i + 1; j < len(s.macros); j++ {
+				acc += ri.Overlap(s.d.Cells[s.macros[j]].Rect())
+			}
+			parts[i] = acc
 		}
+	})
+	total := 0.0
+	for i := range parts {
+		total += parts[i]
 	}
 	return total
 }
@@ -224,7 +315,9 @@ func Macros(d *netlist.Design, macros []int, opt MLGOptions) MLGResult {
 		return res
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	s := newMLGState(d, macros, opt.GridM)
+	t0 := time.Now()
+	s := newMLGState(d, macros, opt.GridM, opt.Workers)
+	opt.Telemetry.AddSpanTime("mLG", "state", time.Since(t0))
 	res.WBefore, res.DBefore, res.OmBefore = s.W, s.D, s.Om
 
 	muD := 1.0
@@ -238,6 +331,7 @@ func Macros(d *netlist.Design, macros []int, opt MLGOptions) MLGResult {
 		muO = s.W
 	}
 
+	tAnneal := time.Now()
 	kmax := opt.MovesPerMacro * len(macros)
 	baseRadius := d.Region.W() / math.Sqrt(float64(len(macros))) * 0.05
 	maxRadius := math.Min(d.Region.W(), d.Region.H()) / 4
@@ -322,6 +416,7 @@ func Macros(d *netlist.Design, macros []int, opt MLGOptions) MLGResult {
 	}
 	opt.Telemetry.Count("mLG/moves", int64(res.Moves))
 	opt.Telemetry.Count("mLG/accepted", int64(res.Accepted))
+	opt.Telemetry.AddSpanTime("mLG", "anneal", time.Since(tAnneal))
 
 	// Deterministic cleanup: resolve any residual overlap by shoving
 	// pairs apart along the cheaper axis.

@@ -1,0 +1,135 @@
+package legalize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eplace/internal/geom"
+	"eplace/internal/netlist"
+)
+
+// bigLegalizeDesign builds a design large enough to split into several
+// row bands (rows and cell count both above the banding thresholds).
+func bigLegalizeDesign(n int, seed int64) (*netlist.Design, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	// Size the region for ~55% utilization at average width 3.5.
+	side := math.Sqrt(float64(n) * 3.5 * 2 / 0.55)
+	side = math.Ceil(side/2) * 2
+	d := netlist.New("lg-big", geom.Rect{Hx: side, Hy: side})
+	BuildRows(d, 2, 1)
+	var cells []int
+	for i := 0; i < n; i++ {
+		cells = append(cells, d.AddCell(netlist.Cell{
+			W: float64(2 + rng.Intn(4)), H: 2,
+			X: 2 + rng.Float64()*(side-4), Y: 2 + rng.Float64()*(side-4),
+		}))
+	}
+	return d, cells
+}
+
+// TestCellsWorkersBitwiseIdentical is the banded-legalization half of
+// the back-end determinism property: every worker count must produce
+// bit-for-bit the same layout and displacement stats. The design is
+// big enough (9000 cells, ~340 rows → 4 bands) that the partition is
+// real.
+func TestCellsWorkersBitwiseIdentical(t *testing.T) {
+	for _, method := range []Method{Abacus, Tetris} {
+		var refX, refY []float64
+		var refTotal, refMax float64
+		for _, w := range []int{1, 2, 7} {
+			d, cells := bigLegalizeDesign(9000, 42)
+			total, max, err := CellsWorkers(d, cells, method, w)
+			if err != nil {
+				t.Fatalf("method %d workers %d: %v", method, w, err)
+			}
+			if err := CheckLegal(d, cells); err != nil {
+				t.Fatalf("method %d workers %d: not legal: %v", method, w, err)
+			}
+			if w == 1 {
+				refTotal, refMax = total, max
+				for _, ci := range cells {
+					refX = append(refX, d.Cells[ci].X)
+					refY = append(refY, d.Cells[ci].Y)
+				}
+				continue
+			}
+			if total != refTotal || max != refMax {
+				t.Errorf("method %d workers %d: displacement (%v, %v) != serial (%v, %v)",
+					method, w, total, max, refTotal, refMax)
+			}
+			for k, ci := range cells {
+				if d.Cells[ci].X != refX[k] || d.Cells[ci].Y != refY[k] {
+					t.Fatalf("method %d workers %d: cell %d at (%v, %v), serial (%v, %v)",
+						method, w, ci, d.Cells[ci].X, d.Cells[ci].Y, refX[k], refY[k])
+				}
+			}
+		}
+	}
+}
+
+// TestMacrosWorkersBitwiseIdentical covers the mLG state-build
+// parallelism: the annealer consumes one RNG stream, so identical
+// state at every worker count means identical moves and layout.
+func TestMacrosWorkersBitwiseIdentical(t *testing.T) {
+	var refX, refY []float64
+	var ref MLGResult
+	for _, w := range []int{1, 2, 7} {
+		d, macros := mlgDesign(8, 5)
+		res := Macros(d, macros, MLGOptions{Seed: 3, Workers: w})
+		if w == 1 {
+			ref = res
+			for _, mi := range macros {
+				refX = append(refX, d.Cells[mi].X)
+				refY = append(refY, d.Cells[mi].Y)
+			}
+			continue
+		}
+		if res != ref {
+			t.Errorf("workers %d: result %+v != serial %+v", w, res, ref)
+		}
+		for k, mi := range macros {
+			if d.Cells[mi].X != refX[k] || d.Cells[mi].Y != refY[k] {
+				t.Fatalf("workers %d: macro %d at (%v, %v), serial (%v, %v)",
+					w, mi, d.Cells[mi].X, d.Cells[mi].Y, refX[k], refY[k])
+			}
+		}
+	}
+}
+
+// TestAbacusTrialAllocFree guards the satellite optimization: the
+// per-candidate Abacus trial must not copy the cluster slice.
+func TestAbacusTrialAllocFree(t *testing.T) {
+	s := &seg{lx: 0, hx: 100}
+	for i := 0; i < 20; i++ {
+		abacusCommit(s, i, float64(i*4), 3)
+		s.used += 3
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		abacusTrial(s, 37, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("abacusTrial allocates %v objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkLegalize measures banded row legalization end to end
+// (5000 cells) at 1 worker; the harness restores the global-placement
+// positions between runs so every iteration legalizes the same input.
+func BenchmarkLegalize(b *testing.B) {
+	d, cells := bigLegalizeDesign(5000, 7)
+	saveX := make([]float64, len(d.Cells))
+	saveY := make([]float64, len(d.Cells))
+	for i := range d.Cells {
+		saveX[i], saveY[i] = d.Cells[i].X, d.Cells[i].Y
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i := range d.Cells {
+			d.Cells[i].X, d.Cells[i].Y = saveX[i], saveY[i]
+		}
+		if _, _, err := CellsWorkers(d, cells, Abacus, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
