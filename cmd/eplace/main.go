@@ -11,6 +11,7 @@
 //	eplace -synth 5000 -trace out.jsonl -status :6060 -bench-out BENCH.json
 //	eplace -synth 5000 -checkpoint-dir ckpt -checkpoint-every 100
 //	eplace -synth 5000 -checkpoint-dir ckpt -resume    # continue after a crash
+//	eplace -synth 5000 -eco edits.json -from prev.ckpt # incremental re-placement
 //	eplace -serve :8080 -serve-dir jobs -serve-jobs 2  # placement-as-a-service
 //
 // SIGINT/SIGTERM cancel the flow context: an interrupted run flushes
@@ -35,6 +36,7 @@ import (
 	"eplace/internal/checkpoint"
 	"eplace/internal/congestion"
 	"eplace/internal/core"
+	"eplace/internal/eco"
 	"eplace/internal/metrics"
 	"eplace/internal/netlist"
 	"eplace/internal/poisson"
@@ -83,6 +85,9 @@ func run(ctx context.Context) error {
 		csvPath   = flag.String("trace-csv", "", "write per-iteration telemetry as CSV to this file")
 		statusAdr = flag.String("status", "", "serve live /status, /samples, expvar and pprof on this address (e.g. :6060)")
 		benchOut  = flag.String("bench-out", "", "write a machine-readable benchmark record (JSON) to this file")
+
+		ecoPath  = flag.String("eco", "", "apply an ECO edit script (JSON) and re-place incrementally; requires -from")
+		fromPath = flag.String("from", "", "previous placement to warm-start -eco from: a .ckpt snapshot or a placed .pl")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "persist crash-safe flow snapshots into this directory")
 		ckptEvery = flag.Int("checkpoint-every", 0, "also snapshot every N global-placement iterations (0 = stage boundaries only)")
@@ -181,6 +186,16 @@ func run(ctx context.Context) error {
 			*poiKind, strings.Join(poisson.Kinds(), " | "))
 	}
 	gp.CheckpointEvery = *ckptEvery
+
+	// Incremental (ECO) mode: warm-start from a previous placement of
+	// the same design source, apply the edit script, and re-place only
+	// the affected cells.
+	if *ecoPath != "" {
+		return runEco(ctx, d, gp, *ecoPath, *fromPath, *outPath, *ckptDir, *digests, *quiet)
+	}
+	if *fromPath != "" {
+		return errors.New("-from requires -eco EDITS.json")
+	}
 
 	// Checkpointing and resume: the flow snapshots itself at stage
 	// boundaries (plus every -checkpoint-every GP iterations) and can
@@ -343,6 +358,82 @@ func run(ctx context.Context) error {
 		}
 		if !*quiet {
 			fmt.Printf("wrote %s\n", *outPath)
+		}
+	}
+	return nil
+}
+
+// runEco executes `-eco edits.json -from prev.ckpt|.pl`: load the
+// previous placement into d (which must be built from the same design
+// source as the original run), apply the edit script, and run the
+// incremental re-placement.
+func runEco(ctx context.Context, d *netlist.Design, gp core.Options, ecoPath, fromPath, outPath, ckptDir string, digests, quiet bool) error {
+	if fromPath == "" {
+		return errors.New("-eco requires -from PREV.ckpt or -from PREV.pl")
+	}
+	if strings.HasSuffix(fromPath, ".ckpt") {
+		st, err := checkpoint.ReadFile(fromPath)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", fromPath, err)
+		}
+		if err := core.WarmStart(d, st); err != nil {
+			return err
+		}
+		// Stay on the backend the warm-start positions came from unless
+		// one was selected explicitly.
+		if gp.Poisson == "" {
+			gp.Poisson = st.Poisson
+		}
+	} else {
+		if err := bookshelf.ReadPL(d, fromPath); err != nil {
+			return fmt.Errorf("loading %s: %w", fromPath, err)
+		}
+	}
+	script, err := eco.LoadScript(ecoPath)
+	if err != nil {
+		return err
+	}
+	prep, err := eco.Prepare(d, script, eco.PlanOptions{})
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Println(prep.Plan.String())
+	}
+	opt := core.ECOOptions{GP: gp}
+	if ckptDir != "" {
+		mgr, err := checkpoint.NewManager(ckptDir)
+		if err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+		opt.Checkpoint = mgr
+	}
+	res, err := core.PlaceECO(ctx, d, prep.Plan, opt)
+	if err != nil {
+		return err
+	}
+	if res.NoOp {
+		fmt.Println("eco           structural no-op: previous placement reused")
+	} else {
+		fmt.Printf("eGP           %d iters, tau %.4f (%d active / %d frozen cells)\n",
+			res.GP.Iterations, res.GP.Overflow, res.ActiveCells, res.FrozenCells)
+	}
+	fmt.Printf("HPWL          %.6g\n", res.HPWL)
+	fmt.Printf("legal         %v\n", res.Legal)
+	for _, stage := range res.Stages {
+		fmt.Printf("time %-8s %v\n", stage.Name, stage.Time.Round(1e6))
+	}
+	if digests {
+		for _, sd := range res.Digests {
+			fmt.Printf("digest %-10s %s (%d iters)\n", sd.Stage, sd.Hex(), sd.Iterations)
+		}
+	}
+	if outPath != "" {
+		if err := bookshelf.WritePL(d, outPath); err != nil {
+			return fmt.Errorf("writing %s: %w", outPath, err)
+		}
+		if !quiet {
+			fmt.Printf("wrote %s\n", outPath)
 		}
 	}
 	return nil

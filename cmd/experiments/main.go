@@ -11,6 +11,7 @@
 //	experiments -exp ablate-bktrk|ablate-precond|ablate-filler
 //	experiments -exp linesearch|rotation
 //	experiments -exp bench -bench-out BENCH_eplace.json
+//	experiments -exp eco -bench-out BENCH_eplace.json   # warm-vs-cold ECO speedups
 //	experiments -exp service -jobs 200 -service-out BENCH_service.json
 //	experiments -exp all -scale 0.5         # everything, half-size circuits
 package main
@@ -30,7 +31,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "circuit size scale factor")
 		gridM    = flag.Int("grid", 0, "bin grid size (0 = auto)")
 		maxIters = flag.Int("iters", 0, "max GP iterations (0 = default)")
-		circuits = flag.Int("circuits", 0, "limit suite size for ablations/fig7 (0 = all)")
+		circuits = flag.Int("circuits", 0, "limit suite size for ablations/fig7; base cell count for -exp eco (0 = all/default)")
 		outDir   = flag.String("outdir", "", "directory for position CSV dumps (fig3)")
 		workers  = flag.Int("workers", 0, "gradient-kernel workers (0 = all cores)")
 		benchOut = flag.String("bench-out", "BENCH_eplace.json", "output path for -exp bench")
@@ -92,6 +93,20 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(out, "wrote %s (%d records)\n", *benchOut, len(report.Records))
+		case "eco":
+			cells := *circuits
+			report, err := experiments.ECOStudy(experiments.ECOStudyOptions{
+				Cells: cells, GridM: *gridM, Workers: *workers, Log: progress,
+			}, out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: eco study: %v\n", err)
+				os.Exit(1)
+			}
+			if err := experiments.MergeBenchFile(*benchOut, "ECO-", report); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *benchOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "merged %d ECO records into %s\n", len(report.Records), *benchOut)
 		case "service":
 			rep, err := experiments.ServiceLoad(experiments.ServiceOptions{
 				Jobs:          *jobs,

@@ -391,7 +391,24 @@ func NewManager(dir string) (*Manager, error) {
 			m.seq = n
 		}
 	}
+	m.sweepTemp()
 	return m, nil
+}
+
+// sweepTemp removes orphaned write temporaries. WriteFile cleans its
+// own temp file via defer, but a crash (or kill) between CreateTemp and
+// the rename leaves `.ckpt-*.tmp` behind forever — a restarted process
+// adopting the directory is the only safe point to collect them, since
+// any temp file predating this Manager can no longer be renamed by a
+// live writer.
+func (m *Manager) sweepTemp() {
+	stale, err := filepath.Glob(filepath.Join(m.dir, ".ckpt-*.tmp"))
+	if err != nil {
+		return
+	}
+	for _, f := range stale {
+		os.Remove(f)
+	}
 }
 
 // Dir returns the checkpoint directory.
@@ -444,6 +461,36 @@ func (m *Manager) Load() (*State, error) {
 	return ReadFile(filepath.Join(m.dir, LatestName))
 }
 
+// FinalName is the pinned end-of-run checkpoint written by PinFinal. It
+// matches neither LatestName (which later saves replace) nor the
+// numbered-history glob (which pruning erodes), so it survives both —
+// the anchor anything chaining off a completed run resolves against.
+const FinalName = "final.ckpt"
+
+// PinFinal pins the current latest checkpoint as final.ckpt, exempt
+// from history pruning and from being replaced by later saves. Call it
+// once when a run completes.
+func (m *Manager) PinFinal() error {
+	s, err := m.Load()
+	if err != nil {
+		return fmt.Errorf("checkpoint: pinning final: %w", err)
+	}
+	return WriteFile(filepath.Join(m.dir, FinalName), s)
+}
+
+// LoadFinal reads the pinned final checkpoint, falling back to
+// latest.ckpt for directories written before pinning existed.
+func (m *Manager) LoadFinal() (*State, error) {
+	s, err := ReadFile(filepath.Join(m.dir, FinalName))
+	if err == nil {
+		return s, nil
+	}
+	if os.IsNotExist(err) {
+		return m.Load()
+	}
+	return nil, err
+}
+
 // HistoryFiles lists retained numbered snapshots in save order.
 func (m *Manager) HistoryFiles() ([]string, error) {
 	paths, err := filepath.Glob(filepath.Join(m.dir, "ckpt-*.ckpt"))
@@ -461,8 +508,8 @@ func (s *State) Validate(d *netlist.Design) error {
 		return fmt.Errorf("checkpoint: snapshot is for design %q, not %q", s.DesignName, d.Name)
 	}
 	if fp := Fingerprint(d); fp != s.Fingerprint {
-		return fmt.Errorf("checkpoint: design %q structure changed since the snapshot (fingerprint %016x, snapshot %016x)",
-			d.Name, fp, s.Fingerprint)
+		return fmt.Errorf("checkpoint: design %q does not structurally match the snapshot taken of design %q: the netlist changed since the snapshot (design fingerprint %016x, snapshot fingerprint %016x)",
+			d.Name, s.DesignName, fp, s.Fingerprint)
 	}
 	if s.Level == 0 {
 		if base := len(d.Cells); base != s.NumBaseCells {

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"eplace/internal/eco"
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+	"eplace/internal/telemetry"
+)
+
+func ecoSpec(name string) synth.Spec {
+	return synth.Spec{Name: name, NumCells: 500, Seed: 2}
+}
+
+// digestOf finds one stage's golden digest.
+func digestOf(t *testing.T, ds []telemetry.StageDigest, stage string) telemetry.StageDigest {
+	t.Helper()
+	for _, d := range ds {
+		if d.Stage == stage {
+			return d
+		}
+	}
+	t.Fatalf("no %q digest in %v", stage, ds)
+	return telemetry.StageDigest{}
+}
+
+// warmCopy rebuilds the design and carries over the placed positions,
+// the way an ECO caller warm-starts from a previous run's output.
+func warmCopy(spec synth.Spec, placed *netlist.Design) *netlist.Design {
+	d := synth.Generate(spec)
+	for i := range d.Cells {
+		d.Cells[i].X = placed.Cells[i].X
+		d.Cells[i].Y = placed.Cells[i].Y
+	}
+	return d
+}
+
+// TestECONoOpBitwise: an edit script that changes nothing must return
+// the previous placement bit for bit — the "final" golden digest equals
+// the cold flow's at every worker count.
+func TestECONoOpBitwise(t *testing.T) {
+	spec := ecoSpec("eco-noop")
+	for _, workers := range []int{1, 2, 7} {
+		cold := synth.Generate(spec)
+		coldRes, err := Place(cold, FlowOptions{GP: Options{Workers: workers, MaxIters: 500}})
+		if err != nil {
+			t.Fatalf("workers=%d cold: %v", workers, err)
+		}
+
+		warm := warmCopy(spec, cold)
+		prep, err := eco.Prepare(warm, &eco.Script{}, eco.PlanOptions{})
+		if err != nil {
+			t.Fatalf("workers=%d prepare: %v", workers, err)
+		}
+		res, err := PlaceECO(context.Background(), warm, prep.Plan, ECOOptions{GP: Options{Workers: workers}})
+		if err != nil {
+			t.Fatalf("workers=%d eco: %v", workers, err)
+		}
+		if !res.NoOp {
+			t.Fatalf("workers=%d: empty edit not detected as no-op (%d active)", workers, res.ActiveCells)
+		}
+		cd, ed := digestOf(t, coldRes.Digests, "final"), digestOf(t, res.Digests, "final")
+		if cd.Digest != ed.Digest {
+			t.Fatalf("workers=%d: final digest %s != cold %s", workers, ed.Hex(), cd.Hex())
+		}
+		if res.HPWL != coldRes.HPWL {
+			t.Fatalf("workers=%d: HPWL %v != cold %v", workers, res.HPWL, coldRes.HPWL)
+		}
+		for i := range warm.Cells {
+			if warm.Cells[i].X != cold.Cells[i].X || warm.Cells[i].Y != cold.Cells[i].Y {
+				t.Fatalf("workers=%d: cell %d moved on a no-op", workers, i)
+			}
+		}
+	}
+}
+
+// TestECOFrozenCellsExact: cells outside the activity halo must end the
+// incremental run at exactly their input positions.
+func TestECOFrozenCellsExact(t *testing.T) {
+	spec := ecoSpec("eco-frozen")
+	cold := synth.Generate(spec)
+	if _, err := Place(cold, FlowOptions{GP: Options{MaxIters: 500}}); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := warmCopy(spec, cold)
+	script := &eco.Script{AddCells: []eco.AddCell{
+		{Name: "eco_a", W: 2, H: 1, NetIDs: []int{0}},
+		{Name: "eco_b", W: 2, H: 1, NetIDs: []int{1}},
+	}}
+	prep, err := eco.Prepare(warm, script, eco.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prep.Plan.Frozen) == 0 {
+		t.Fatalf("small edit froze nothing: %s", prep.Plan)
+	}
+	type pos struct{ x, y float64 }
+	before := map[int]pos{}
+	for _, ci := range prep.Plan.Frozen {
+		before[ci] = pos{warm.Cells[ci].X, warm.Cells[ci].Y}
+	}
+
+	res, err := PlaceECO(context.Background(), warm, prep.Plan, ECOOptions{GP: Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoOp || res.ActiveCells == 0 {
+		t.Fatalf("insertion did not activate anything: %+v", res)
+	}
+	for ci, p := range before {
+		if warm.Cells[ci].X != p.x || warm.Cells[ci].Y != p.y {
+			t.Fatalf("frozen cell %d moved: (%v,%v) -> (%v,%v)",
+				ci, p.x, p.y, warm.Cells[ci].X, warm.Cells[ci].Y)
+		}
+	}
+	if !res.Legal {
+		t.Fatal("incremental result not legal")
+	}
+}
+
+// TestECOBlockedRegionEvicted: after an ECO run with a region blockage,
+// no movable standard cell may overlap the blocked rectangle.
+func TestECOBlockedRegionEvicted(t *testing.T) {
+	spec := ecoSpec("eco-block")
+	cold := synth.Generate(spec)
+	if _, err := Place(cold, FlowOptions{GP: Options{MaxIters: 500}}); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := warmCopy(spec, cold)
+	r := warm.Region
+	blk := eco.Block{
+		Lx: r.Lx + 0.3*r.W(), Ly: r.Ly + 0.3*r.H(),
+		Hx: r.Lx + 0.5*r.W(), Hy: r.Ly + 0.5*r.H(),
+	}
+	prep, err := eco.Prepare(warm, &eco.Script{BlockRegions: []eco.Block{blk}}, eco.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlaceECO(context.Background(), warm, prep.Plan, ECOOptions{GP: Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Legal {
+		t.Fatal("blocked result not legal")
+	}
+	const eps = 1e-9
+	for _, ci := range warm.Movable() {
+		c := &warm.Cells[ci]
+		cr := c.Rect()
+		ov := cr.Intersect(blk.Rect())
+		if ov.Valid() && ov.W() > eps && ov.H() > eps {
+			t.Fatalf("movable cell %d (%s) overlaps the blockage: cell %v block %v",
+				ci, c.Name, cr, blk.Rect())
+		}
+	}
+}

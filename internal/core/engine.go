@@ -198,6 +198,9 @@ func (e *engine) initLambda(v []float64) {
 	if e.lambda <= 0 {
 		e.lambda = 1
 	}
+	if e.opt.LambdaScale > 0 {
+		e.lambda *= e.opt.LambdaScale
+	}
 }
 
 // updateGamma applies the overflow-driven smoothing schedule
@@ -419,7 +422,7 @@ func PlaceGlobalContext(ctx context.Context, d *netlist.Design, idx []int, opt O
 		// the target is unreachable (e.g. infeasible density bound).
 		// Return the best snapshot instead of grinding lambda upward
 		// until wirelength explodes.
-		if iter-bestTauIter > 150 && iter >= opt.MinIters {
+		if iter-bestTauIter > opt.StallIters && iter >= opt.MinIters {
 			res.Stagnated = true
 			break
 		}

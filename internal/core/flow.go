@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"eplace/internal/checkpoint"
@@ -268,8 +269,8 @@ func PlaceContext(ctx context.Context, d *netlist.Design, opt FlowOptions) (Flow
 			return res, err
 		}
 		if snap := poisson.NormalizeKind(rs.Poisson); snap != poissonKind {
-			return res, fmt.Errorf("core: snapshot was taken with poisson backend %q but this run selects %q; resume with the matching backend (-poisson=%s) or restart from scratch",
-				snap, poissonKind, snap)
+			return res, fmt.Errorf("core: snapshot was taken with poisson backend %q but this run selects %q; resume with the matching backend (-poisson=%s) or restart from scratch (valid backends: %s)",
+				snap, poissonKind, snap, strings.Join(poisson.Kinds(), ", "))
 		}
 		var err error
 		startPh, midGP, err = resumePhase(rs.Phase)

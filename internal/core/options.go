@@ -36,6 +36,21 @@ type Options struct {
 	MaxIters int
 	// MinIters prevents spurious early stops (default 20).
 	MinIters int
+	// StallIters is the stagnation window: the run stops (Stagnated)
+	// when overflow has not improved for this many iterations (default
+	// 150). Warm-started incremental runs use a short window — their
+	// overflow starts near the grid's quantization floor, and waiting
+	// out a long window just grinds lambda upward while wirelength
+	// degrades.
+	StallIters int
+	// LambdaScale multiplies the auto-balanced initial penalty (default
+	// 1, the paper's gradient-norm balance). A converged warm start
+	// needs a large scale: balancing against the flat density field of
+	// an already-spread layout re-enters the early-cGP regime, and the
+	// unfrozen cells collapse onto their neighbors chasing wirelength
+	// slack before the penalty recovers. Ignored when the caller passes
+	// an absolute lambda.
+	LambdaScale float64
 	// Solver selects Nesterov (default) or the CG/FFTPL baseline.
 	Solver SolverKind
 	// Workers is the worker count for the per-iteration gradient
@@ -117,6 +132,12 @@ func (o *Options) defaults() {
 	}
 	if o.MinIters <= 0 {
 		o.MinIters = 20
+	}
+	if o.StallIters <= 0 {
+		o.StallIters = 150
+	}
+	if o.LambdaScale <= 0 {
+		o.LambdaScale = 1
 	}
 	if o.RefDeltaHPWLFrac <= 0 {
 		o.RefDeltaHPWLFrac = 0.01

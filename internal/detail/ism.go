@@ -44,27 +44,39 @@ type ismProposal struct {
 // advance by half so neighboring windows overlap.
 const ismWindow = 12
 
-// buildISMTasks gathers movable cells by width and cuts sliding
-// windows. Determinism contract: buckets are processed in ascending
-// width order (never Go's randomized map order) and each bucket is
-// sorted by (x, cell index) — a strict total order — so the task list
-// is a pure function of the pass-start positions.
+// buildISMTasks gathers movable cells by footprint and cuts sliding
+// windows. Cells are interchangeable only when both width AND height
+// match: slots carry a y position, and parking a double-height cell on
+// a single-height cell's slot leaves it straddling a row boundary
+// (bucketing by width alone did exactly that once edits introduced
+// same-width cells of a different height). Determinism contract:
+// buckets are processed in ascending (width, height) order (never Go's
+// randomized map order) and each bucket is sorted by (x, cell index) —
+// a strict total order — so the task list is a pure function of the
+// pass-start positions.
 func (p *placer) buildISMTasks() []ismTask {
 	d := p.d
-	byWidth := map[float64][]int{}
+	type dim struct{ w, h float64 }
+	byDim := map[dim][]int{}
 	for _, s := range p.segs {
 		for _, ci := range s.cells {
-			byWidth[d.Cells[ci].W] = append(byWidth[d.Cells[ci].W], ci)
+			k := dim{d.Cells[ci].W, d.Cells[ci].H}
+			byDim[k] = append(byDim[k], ci)
 		}
 	}
-	widths := make([]float64, 0, len(byWidth))
-	for w := range byWidth {
-		widths = append(widths, w)
+	dims := make([]dim, 0, len(byDim))
+	for k := range byDim {
+		dims = append(dims, k)
 	}
-	sort.Float64s(widths)
+	sort.Slice(dims, func(a, b int) bool {
+		if dims[a].w != dims[b].w {
+			return dims[a].w < dims[b].w
+		}
+		return dims[a].h < dims[b].h
+	})
 	var tasks []ismTask
-	for _, w := range widths {
-		group := byWidth[w]
+	for _, w := range dims {
+		group := byDim[w]
 		if len(group) < 2 {
 			continue
 		}

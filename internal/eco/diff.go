@@ -1,0 +1,183 @@
+package eco
+
+import (
+	"encoding/binary"
+	"math"
+
+	"eplace/internal/netlist"
+)
+
+// DefaultGridN is the occupancy-grid resolution of a Signature (per
+// side). It doubles as the freeze planner's dirty-bin grid.
+const DefaultGridN = 32
+
+// Signature generalizes checkpoint.Fingerprint into addressable
+// hashes: one per net (weight + pin membership), one per cell
+// (geometry, kind, fixedness, and the hashes of every net it touches),
+// and one per occupancy-grid region (the cells whose centers fall in
+// the bin, position-sensitive by construction). Where the checkpoint
+// fingerprint can only answer "did anything change?", a Signature diff
+// answers "what changed, and which placed regions does it dirty?" —
+// the reuse decision an incremental re-placement needs.
+type Signature struct {
+	GridN int
+	// Cells and Nets are indexed like the design's slices.
+	Cells []uint64
+	Nets  []uint64
+	// Regions is the GridN x GridN row-major occupancy hash.
+	Regions []uint64
+}
+
+const fnvOffset = 14695981039346656037
+const fnvPrime = 1099511628211
+
+// fnv1a folds one 64-bit word into a rolling FNV-1a hash, byte-wise
+// little-endian so the value matches hashing the serialized bytes.
+func fnv1a(h, v uint64) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvF(h uint64, f float64) uint64 { return fnv1a(h, math.Float64bits(f)) }
+
+// Sign computes the structural signature of d at its current
+// placement. gridN <= 0 selects DefaultGridN. Filler cells must not be
+// present (signatures describe finished placements).
+func Sign(d *netlist.Design, gridN int) *Signature {
+	if gridN <= 0 {
+		gridN = DefaultGridN
+	}
+	s := &Signature{
+		GridN:   gridN,
+		Cells:   make([]uint64, len(d.Cells)),
+		Nets:    make([]uint64, len(d.Nets)),
+		Regions: make([]uint64, gridN*gridN),
+	}
+
+	// Net hashes first: weight, degree, and each pin's (cell, offset).
+	for ni := range d.Nets {
+		n := &d.Nets[ni]
+		h := uint64(fnvOffset)
+		h = fnvF(h, n.EffWeight())
+		h = fnv1a(h, uint64(len(n.Pins)))
+		for _, pi := range n.Pins {
+			p := &d.Pins[pi]
+			h = fnv1a(h, uint64(uint32(p.Cell)))
+			h = fnvF(h, p.Ox)
+			h = fnvF(h, p.Oy)
+		}
+		s.Nets[ni] = h
+	}
+
+	// Cell hashes fold in the owning nets' hashes, so reweighting a net
+	// or editing any of its members dirties every cell on the net.
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		h := uint64(fnvOffset)
+		h = fnvF(h, c.W)
+		h = fnvF(h, c.H)
+		kind := uint64(c.Kind)
+		if c.Fixed {
+			kind |= 1 << 8
+		}
+		h = fnv1a(h, kind)
+		for _, pi := range c.Pins {
+			h = fnv1a(h, s.Nets[d.Pins[pi].Net])
+		}
+		s.Cells[ci] = h
+	}
+
+	// Region hashes: fold (index, cellHash) of the cells centered in
+	// each bin, in cell-index order.
+	for i := range s.Regions {
+		s.Regions[i] = fnvOffset
+	}
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		b := s.binOf(d, c.X, c.Y)
+		s.Regions[b] = fnv1a(s.Regions[b], uint64(ci))
+		s.Regions[b] = fnv1a(s.Regions[b], s.Cells[ci])
+	}
+	return s
+}
+
+// binOf maps a point to its row-major occupancy bin, clamping to the
+// region boundary.
+func (s *Signature) binOf(d *netlist.Design, x, y float64) int {
+	n := s.GridN
+	bx := int(float64(n) * (x - d.Region.Lx) / d.Region.W())
+	by := int(float64(n) * (y - d.Region.Ly) / d.Region.H())
+	if bx < 0 {
+		bx = 0
+	}
+	if bx >= n {
+		bx = n - 1
+	}
+	if by < 0 {
+		by = 0
+	}
+	if by >= n {
+		by = n - 1
+	}
+	return by*n + bx
+}
+
+// Fold collapses the signature to one fingerprint-style hash (useful
+// for logging and quick equality checks).
+func (s *Signature) Fold() uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range s.Cells {
+		h = fnv1a(h, v)
+	}
+	for _, v := range s.Nets {
+		h = fnv1a(h, v)
+	}
+	return h
+}
+
+// Diff is the structural delta between two signatures of the same
+// design lineage (after mutated in place by Apply, so indices align;
+// cells/nets present only in the newer signature count as changed).
+type Diff struct {
+	// ChangedCells lists cells whose structural hash differs, ascending.
+	ChangedCells []int
+	// ChangedNets lists nets whose hash differs, ascending.
+	ChangedNets []int
+	// DirtyRegions lists occupancy bins whose hash differs, ascending
+	// (row-major in the older signature's grid).
+	DirtyRegions []int
+}
+
+// Empty reports a diff with no changes: the edit was a structural
+// no-op and the previous placement can be reused bitwise.
+func (df *Diff) Empty() bool {
+	return len(df.ChangedCells) == 0 && len(df.ChangedNets) == 0 && len(df.DirtyRegions) == 0
+}
+
+// DiffSignatures compares old against new index-aligned.
+func DiffSignatures(old, cur *Signature) *Diff {
+	df := &Diff{}
+	for ci := range cur.Cells {
+		if ci >= len(old.Cells) || old.Cells[ci] != cur.Cells[ci] {
+			df.ChangedCells = append(df.ChangedCells, ci)
+		}
+	}
+	for ni := range cur.Nets {
+		if ni >= len(old.Nets) || old.Nets[ni] != cur.Nets[ni] {
+			df.ChangedNets = append(df.ChangedNets, ni)
+		}
+	}
+	if old.GridN == cur.GridN {
+		for b := range cur.Regions {
+			if old.Regions[b] != cur.Regions[b] {
+				df.DirtyRegions = append(df.DirtyRegions, b)
+			}
+		}
+	}
+	return df
+}

@@ -1,0 +1,190 @@
+package eco
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+)
+
+func testDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	d := synth.Generate(synth.Spec{Name: "eco-ut", NumCells: 200, Seed: 3})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestApplyAddRemoveReweightBlock(t *testing.T) {
+	d := testDesign(t)
+	nc, nn := len(d.Cells), len(d.Nets)
+	victim := d.Cells[d.MovableOf(netlist.StdCell)[0]].Name
+
+	s := &Script{
+		AddCells:     []AddCell{{Name: "eco_new", W: 2, H: 2, NetIDs: []int{0, 1}}},
+		RemoveCells:  []string{victim},
+		ReweightNets: []Reweight{{NetID: 2, Weight: 5}},
+		BlockRegions: []Block{{Lx: d.Region.Lx, Ly: d.Region.Ly, Hx: d.Region.Lx + 10, Hy: d.Region.Ly + 10}},
+	}
+	ch, err := Apply(d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Added) != 1 || len(ch.Removed) != 1 || len(ch.Reweighted) != 1 || len(ch.Blocked) != 1 {
+		t.Fatalf("change = %+v", ch)
+	}
+	// Added cell connected and inside the region.
+	ai := ch.Added[0]
+	if got := len(d.Cells[ai].Pins); got != 2 {
+		t.Fatalf("added cell has %d pins, want 2", got)
+	}
+	// Tombstone: zero-size, fixed, detached; index layout unchanged.
+	ri := ch.Removed[0]
+	c := &d.Cells[ri]
+	if !c.Fixed || c.W != 0 || c.H != 0 || len(c.Pins) != 0 {
+		t.Fatalf("tombstone = %+v", c)
+	}
+	if len(d.Cells) != nc+2 || len(d.Nets) != nn {
+		t.Fatalf("got %d cells %d nets, want %d cells %d nets", len(d.Cells), len(d.Nets), nc+2, nn)
+	}
+	if d.Nets[2].EffWeight() != 5 {
+		t.Fatalf("net 2 weight = %v", d.Nets[2].EffWeight())
+	}
+	if bc := &d.Cells[ch.Blocked[0]]; !bc.Fixed || bc.Kind != netlist.Macro {
+		t.Fatalf("blockage = %+v", bc)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("edited design invalid: %v", err)
+	}
+	// Removing the same cell again must fail.
+	if _, err := Apply(d, &Script{RemoveCells: []string{victim}}); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestApplyRejectsBadEdits(t *testing.T) {
+	for _, s := range []*Script{
+		{AddCells: []AddCell{{Name: "", W: 1, H: 1}}},
+		{AddCells: []AddCell{{Name: "x", W: 0, H: 1}}},
+		{AddCells: []AddCell{{Name: "x", W: 1, H: 1, Nets: []string{"nope"}}}},
+		{RemoveCells: []string{"no-such-cell"}},
+		{ReweightNets: []Reweight{{NetID: 1 << 30, Weight: 2}}},
+		{ReweightNets: []Reweight{{NetID: 0, Weight: -1}}},
+		{BlockRegions: []Block{{Lx: -1e9, Ly: -1e9, Hx: -1e8, Hy: -1e8}}},
+	} {
+		if _, err := Apply(testDesign(t), s); err == nil {
+			t.Errorf("script %+v accepted", s)
+		}
+	}
+}
+
+func TestLoadScriptRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edits.json")
+	if err := os.WriteFile(path, []byte(`{"add_cellz": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScript(path); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"reweight_nets": [{"net_id": 3, "weight": 2.5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadScript(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ReweightNets) != 1 || s.ReweightNets[0].NetID != 3 {
+		t.Fatalf("script = %+v", s)
+	}
+}
+
+func TestSignDiffLocality(t *testing.T) {
+	d := testDesign(t)
+	before := Sign(d, 0)
+
+	// Identical design: empty diff.
+	if df := DiffSignatures(before, Sign(d, 0)); !df.Empty() {
+		t.Fatalf("self-diff not empty: %+v", df)
+	}
+
+	// Reweight one net: exactly its member cells change.
+	ch, err := Apply(d, &Script{ReweightNets: []Reweight{{NetID: 4, Weight: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := DiffSignatures(before, Sign(d, 0))
+	if len(df.ChangedNets) != 1 || df.ChangedNets[0] != 4 {
+		t.Fatalf("changed nets = %v", df.ChangedNets)
+	}
+	want := ch.Touched(d)
+	if len(df.ChangedCells) != len(want) {
+		t.Fatalf("changed cells = %v, want the %d members of net 4 (%v)", df.ChangedCells, len(want), want)
+	}
+	for i := range want {
+		if df.ChangedCells[i] != want[i] {
+			t.Fatalf("changed cells = %v, want %v", df.ChangedCells, want)
+		}
+	}
+	if len(df.DirtyRegions) == 0 {
+		t.Fatal("no dirty regions for a structural change")
+	}
+}
+
+func TestBuildPlanFreezeSplit(t *testing.T) {
+	d := testDesign(t)
+
+	// Empty change: everything movable frozen, nothing active.
+	p := BuildPlan(d, nil, nil, PlanOptions{})
+	if len(p.Active) != 0 || len(p.Seeds) != 0 {
+		t.Fatalf("no-op plan = %+v", p)
+	}
+	if len(p.Frozen) != len(d.Movable()) {
+		t.Fatalf("frozen %d, want all %d movable", len(p.Frozen), len(d.Movable()))
+	}
+
+	// A single changed cell activates itself plus a local halo, not the
+	// whole design, and active/frozen partition the movables.
+	seed := d.MovableOf(netlist.StdCell)[10]
+	p = BuildPlan(d, []int{seed}, []int{seed}, PlanOptions{})
+	if len(p.Active) == 0 {
+		t.Fatal("seeded plan has no active cells")
+	}
+	mov := len(d.Movable())
+	if len(p.Active)+len(p.Frozen) != mov {
+		t.Fatalf("active %d + frozen %d != movable %d", len(p.Active), len(p.Frozen), mov)
+	}
+	if len(p.Active) >= mov/2 {
+		t.Fatalf("plan activated %d of %d movables; not local", len(p.Active), mov)
+	}
+	found := false
+	for _, ci := range p.Active {
+		if ci == seed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("seed cell not active")
+	}
+}
+
+func TestPrepareNoOp(t *testing.T) {
+	d := testDesign(t)
+	prep, err := Prepare(d, &Script{}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Diff.Empty() || len(prep.Plan.Active) != 0 {
+		t.Fatalf("empty script produced work: diff=%+v plan=%s", prep.Diff, prep.Plan)
+	}
+	// Reweighting to the current effective weight is also a no-op.
+	prep, err = Prepare(d, &Script{ReweightNets: []Reweight{{NetID: 0, Weight: d.Nets[0].EffWeight()}}}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Diff.Empty() {
+		t.Fatalf("same-weight reweight dirtied the diff: %+v", prep.Diff)
+	}
+}

@@ -1,0 +1,236 @@
+package eco
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eplace/internal/netlist"
+)
+
+// PlanOptions tunes the freeze planner.
+type PlanOptions struct {
+	// Hops is how many net-adjacency hops to expand the active set from
+	// the edited cells (default 1: the edited cells' direct neighbors
+	// re-place too, so new connectivity can pull them).
+	Hops int
+	// RadiusFrac is the geometric halo around edited cells, as a
+	// fraction of the shorter region side (default 0.04). Every movable
+	// standard cell within the halo is re-placed; everything beyond
+	// stays frozen at its converged position.
+	RadiusFrac float64
+	// MaxNetDegree stops net-hop expansion through hub nets larger than
+	// this (default 64): a clock-like net would otherwise activate the
+	// whole design.
+	MaxNetDegree int
+	// GridN is the dirty-bin grid resolution (default DefaultGridN,
+	// matching Sign).
+	GridN int
+}
+
+func (o *PlanOptions) defaults() {
+	if o.Hops == 0 {
+		o.Hops = 1
+	}
+	if o.RadiusFrac <= 0 {
+		o.RadiusFrac = 0.04
+	}
+	if o.MaxNetDegree <= 0 {
+		o.MaxNetDegree = 64
+	}
+	if o.GridN <= 0 {
+		o.GridN = DefaultGridN
+	}
+}
+
+// Plan is the freeze decision: which movable cells are re-placed and
+// which are reused (frozen as fixed obstacles) for one ECO run.
+type Plan struct {
+	// Seeds are the structurally-changed cells (movable or fixed) the
+	// activity radiates from, ascending.
+	Seeds []int
+	// Active are the movable standard cells to re-place, ascending.
+	// Added cells are always active.
+	Active []int
+	// Frozen are the movable cells reused verbatim (standard cells
+	// outside the activity halo plus every movable macro), ascending.
+	Frozen []int
+	// Fresh are the geometric seeds: cells whose physical footprint is
+	// new or changed (insertions, blockages, tombstones), ascending.
+	// Unlike the rest of the active set, these cells have no trusted
+	// legal slot in the reused placement.
+	Fresh []int
+	// DirtyBins counts activity bins out of GridN*GridN (diagnostics).
+	DirtyBins int
+	// GridN is the bin grid the plan was computed on.
+	GridN int
+}
+
+// BuildPlan decides the active/frozen split for the given changed-cell
+// set (typically Diff.ChangedCells). An empty changed set yields an
+// empty plan: the previous placement is reusable as-is.
+//
+// The active set is the union of (a) the changed movable standard
+// cells, (b) their net neighbors up to Hops hops (skipping hub nets
+// beyond MaxNetDegree), and (c) every movable standard cell centered
+// in a bin within the RadiusFrac halo of a geometric seed's footprint.
+// Geometric seeds (geom) are the cells whose physical footprint
+// changed — insertions, removals, blockages — and are typically a
+// small subset of changed: a net reweight marks every member cell
+// changed, but those cells did not move, so radiating halos from them
+// would activate most of the die for a purely electrical edit.
+// Movable macros are never activated: re-legalizing macros would
+// perturb the whole layout, defeating the reuse (macro edits should
+// fall back to a cold placement).
+func BuildPlan(d *netlist.Design, changed, geom []int, opt PlanOptions) *Plan {
+	opt.defaults()
+	p := &Plan{GridN: opt.GridN}
+	if len(changed) == 0 {
+		// Everything movable is reused.
+		for i := range d.Cells {
+			if !d.Cells[i].Fixed {
+				p.Frozen = append(p.Frozen, i)
+			}
+		}
+		return p
+	}
+	p.Seeds = append([]int(nil), changed...)
+	sort.Ints(p.Seeds)
+	p.Fresh = append([]int(nil), geom...)
+	sort.Ints(p.Fresh)
+
+	active := make([]bool, len(d.Cells))
+	markActive := func(ci int) {
+		c := &d.Cells[ci]
+		if !c.Fixed && c.Kind == netlist.StdCell {
+			active[ci] = true
+		}
+	}
+	for _, ci := range p.Seeds {
+		markActive(ci)
+	}
+
+	// Net-hop expansion from the seeds (through the seeds' nets even
+	// when a seed itself is fixed or a macro: its neighbors still feel
+	// the edit).
+	frontier := append([]int(nil), p.Seeds...)
+	for hop := 0; hop < opt.Hops; hop++ {
+		var next []int
+		for _, ci := range frontier {
+			for _, pi := range d.Cells[ci].Pins {
+				ni := d.Pins[pi].Net
+				if len(d.Nets[ni].Pins) > opt.MaxNetDegree {
+					continue
+				}
+				for _, np := range d.Nets[ni].Pins {
+					oc := d.Pins[np].Cell
+					if oc < 0 || active[oc] {
+						continue
+					}
+					c := &d.Cells[oc]
+					if !c.Fixed && c.Kind == netlist.StdCell {
+						active[oc] = true
+						next = append(next, oc)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Geometric halo, bin-granular: mark every bin whose extent lies
+	// within radius of a geometric seed's footprint, then activate the
+	// movable standard cells centered in dirty bins. Bin-snapping keeps
+	// the halo deterministic and O(cells + seeds*bins-per-halo).
+	n := opt.GridN
+	binW := d.Region.W() / float64(n)
+	binH := d.Region.H() / float64(n)
+	radius := opt.RadiusFrac * math.Min(d.Region.W(), d.Region.H())
+	dirty := make([]bool, n*n)
+	clampBin := func(b int) int {
+		if b < 0 {
+			return 0
+		}
+		if b >= n {
+			return n - 1
+		}
+		return b
+	}
+	for _, ci := range geom {
+		r := d.Cells[ci].Rect().Expand(radius)
+		bx0 := clampBin(int((r.Lx - d.Region.Lx) / binW))
+		bx1 := clampBin(int((r.Hx - d.Region.Lx) / binW))
+		by0 := clampBin(int((r.Ly - d.Region.Ly) / binH))
+		by1 := clampBin(int((r.Hy - d.Region.Ly) / binH))
+		for by := by0; by <= by1; by++ {
+			for bx := bx0; bx <= bx1; bx++ {
+				dirty[by*n+bx] = true
+			}
+		}
+	}
+	for _, on := range dirty {
+		if on {
+			p.DirtyBins++
+		}
+	}
+	sig := &Signature{GridN: n}
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Fixed || c.Kind != netlist.StdCell || active[ci] {
+			continue
+		}
+		if dirty[sig.binOf(d, c.X, c.Y)] {
+			active[ci] = true
+		}
+	}
+
+	for ci := range d.Cells {
+		if d.Cells[ci].Fixed {
+			continue
+		}
+		if active[ci] {
+			p.Active = append(p.Active, ci)
+		} else {
+			p.Frozen = append(p.Frozen, ci)
+		}
+	}
+	return p
+}
+
+// String summarizes the plan for logs.
+func (p *Plan) String() string {
+	return fmt.Sprintf("eco plan: %d seeds, %d active, %d frozen, %d/%d dirty bins",
+		len(p.Seeds), len(p.Active), len(p.Frozen), p.DirtyBins, p.GridN*p.GridN)
+}
+
+// Prepared bundles everything an ECO run needs, produced by Prepare.
+type Prepared struct {
+	Change *Change
+	Diff   *Diff
+	Plan   *Plan
+}
+
+// Prepare signs the placed design, applies the edit script, re-signs,
+// diffs the two signatures, and builds the freeze plan from the
+// confirmed structural changes. The design is mutated in place (see
+// Apply); the previous placement's positions are untouched except for
+// newly added cells.
+func Prepare(d *netlist.Design, s *Script, opt PlanOptions) (*Prepared, error) {
+	opt.defaults()
+	before := Sign(d, opt.GridN)
+	ch, err := Apply(d, s)
+	if err != nil {
+		return nil, err
+	}
+	after := Sign(d, opt.GridN)
+	df := DiffSignatures(before, after)
+	// Halos radiate only from cells whose footprint actually changed;
+	// electrically-changed cells (reweighted net members, new-cell
+	// neighbors) re-place via the net-hop expansion alone.
+	var geom []int
+	geom = append(geom, ch.Added...)
+	geom = append(geom, ch.Removed...)
+	geom = append(geom, ch.Blocked...)
+	sort.Ints(geom)
+	return &Prepared{Change: ch, Diff: df, Plan: BuildPlan(d, df.ChangedCells, geom, opt)}, nil
+}

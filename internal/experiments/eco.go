@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"eplace/internal/core"
+	"eplace/internal/eco"
+	"eplace/internal/netlist"
+	"eplace/internal/synth"
+	"eplace/internal/telemetry"
+)
+
+// ECOStudyOptions sizes the incremental-vs-cold study.
+type ECOStudyOptions struct {
+	// Cells is the base circuit size (default 4000).
+	Cells int
+	// GridM and Workers forward to the placers.
+	GridM   int
+	Workers int
+	// Log receives per-case progress lines.
+	Log io.Writer
+}
+
+func (o *ECOStudyOptions) defaults() {
+	if o.Cells <= 0 {
+		o.Cells = 4000
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+}
+
+// ecoCase is one synthetic edit: the script builder sees the base
+// design so it can address real nets and the region.
+type ecoCase struct {
+	name  string
+	build func(d *netlist.Design, rng *rand.Rand) *eco.Script
+}
+
+// insertScript adds n new standard cells sized like the average
+// existing cell. Each insertion is anchored at a random existing cell
+// and wired into two of that cell's nets, modeling the local splice of
+// a buffer or gate insertion — real ECO edits attach at a spot, they
+// do not span the die.
+func insertScript(d *netlist.Design, rng *rand.Rand, n int) *eco.Script {
+	var aw, ah float64
+	cnt := 0
+	var movable []int
+	for i := range d.Cells {
+		if c := &d.Cells[i]; !c.Fixed && c.Kind == netlist.StdCell {
+			aw += c.W
+			ah += c.H
+			cnt++
+			movable = append(movable, i)
+		}
+	}
+	aw, ah = aw/float64(cnt), ah/float64(cnt)
+	s := &eco.Script{}
+	for i := 0; i < n; i++ {
+		anchor := &d.Cells[movable[rng.Intn(len(movable))]]
+		var nets []int
+		for _, pi := range anchor.Pins {
+			ni := d.Pins[pi].Net
+			if len(nets) == 0 || nets[0] != ni {
+				nets = append(nets, ni)
+			}
+			if len(nets) == 2 {
+				break
+			}
+		}
+		for len(nets) < 2 {
+			nets = append(nets, rng.Intn(len(d.Nets)))
+		}
+		s.AddCells = append(s.AddCells, eco.AddCell{
+			Name:   fmt.Sprintf("eco_ins_%d", i),
+			W:      aw,
+			H:      ah,
+			NetIDs: nets,
+		})
+	}
+	return s
+}
+
+// ecoCases builds the committed suite: insertions at 0.1/1/5% of the
+// cell count, a net-reweight pass, and a region blockage.
+func ecoCases(cells int) []ecoCase {
+	frac := func(f float64) int {
+		n := int(float64(cells) * f)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return []ecoCase{
+		{"ins0.1", func(d *netlist.Design, rng *rand.Rand) *eco.Script {
+			return insertScript(d, rng, frac(0.001))
+		}},
+		{"ins1", func(d *netlist.Design, rng *rand.Rand) *eco.Script {
+			return insertScript(d, rng, frac(0.01))
+		}},
+		{"ins5", func(d *netlist.Design, rng *rand.Rand) *eco.Script {
+			return insertScript(d, rng, frac(0.05))
+		}},
+		{"reweight", func(d *netlist.Design, rng *rand.Rand) *eco.Script {
+			s := &eco.Script{}
+			for i := 0; i < 20; i++ {
+				s.ReweightNets = append(s.ReweightNets, eco.Reweight{
+					NetID: rng.Intn(len(d.Nets)), Weight: 4,
+				})
+			}
+			return s
+		}},
+		{"block", func(d *netlist.Design, rng *rand.Rand) *eco.Script {
+			// A blockage covering ~4% of the region, off-center.
+			r := d.Region
+			w, h := 0.2*r.W(), 0.2*r.H()
+			lx := r.Lx + 0.15*r.W()
+			ly := r.Ly + 0.55*r.H()
+			return &eco.Script{BlockRegions: []eco.Block{{Lx: lx, Ly: ly, Hx: lx + w, Hy: ly + h}}}
+		}},
+	}
+}
+
+// ECOStudy measures incremental re-placement against a cold re-run on
+// the committed edit suite. For each case the edited design is placed
+// twice from the same inputs — a full cold flow, and an ECO warm start
+// off the base design's converged placement — and the pair of records
+// ("ECO-<case>/cold", "ECO-<case>/eco") lands in the report. The
+// headline numbers are the speedup at matched quality: for small edits
+// (<=1% of cells) the warm start must be >=3x faster within 1% of the
+// cold flow's final HPWL.
+func ECOStudy(opt ECOStudyOptions, out io.Writer) (*telemetry.BenchReport, error) {
+	opt.defaults()
+	spec := synth.Spec{Name: "eco-base", NumCells: opt.Cells, Seed: 1, TargetDensity: 0.8}
+	gp := core.Options{GridM: opt.GridM, Workers: opt.Workers}
+
+	// The shared warm start: one converged placement of the base design.
+	base := synth.Generate(spec)
+	t0 := time.Now()
+	baseRes, err := core.Place(base, core.FlowOptions{GP: gp})
+	if err != nil {
+		return nil, fmt.Errorf("eco study: base placement: %w", err)
+	}
+	fmt.Fprintf(opt.Log, "eco study: base %d cells placed in %.2fs (HPWL %.6g)\n",
+		opt.Cells, time.Since(t0).Seconds(), baseRes.HPWL)
+
+	report := telemetry.NewBenchReport("eco-study")
+	report.Workers = opt.Workers
+	fmt.Fprintf(out, "# ECO warm-start vs cold re-place (%d-cell base)\n", opt.Cells)
+	fmt.Fprintf(out, "case,cold_s,eco_s,speedup,cold_hpwl,eco_hpwl,delta%%,active,frozen,legal\n")
+
+	for _, cs := range ecoCases(opt.Cells) {
+		script := cs.build(base, rand.New(rand.NewSource(7)))
+
+		// Cold: fresh design, apply the edit, full flow.
+		cold := synth.Generate(spec)
+		if _, err := eco.Apply(cold, script); err != nil {
+			return nil, fmt.Errorf("eco study %s: apply (cold): %w", cs.name, err)
+		}
+		t0 = time.Now()
+		coldRes, err := core.Place(cold, core.FlowOptions{GP: gp})
+		if err != nil {
+			return nil, fmt.Errorf("eco study %s: cold flow: %w", cs.name, err)
+		}
+		coldSec := time.Since(t0).Seconds()
+
+		// Warm: fresh design, base positions, incremental re-place.
+		warm := synth.Generate(spec)
+		for i := range warm.Cells {
+			warm.Cells[i].X = base.Cells[i].X
+			warm.Cells[i].Y = base.Cells[i].Y
+		}
+		t0 = time.Now()
+		prep, err := eco.Prepare(warm, script, eco.PlanOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("eco study %s: prepare: %w", cs.name, err)
+		}
+		ecoRes, err := core.PlaceECO(context.Background(), warm, prep.Plan, core.ECOOptions{GP: gp})
+		if err != nil {
+			return nil, fmt.Errorf("eco study %s: warm flow: %w", cs.name, err)
+		}
+		ecoSec := time.Since(t0).Seconds()
+
+		speedup := coldSec / ecoSec
+		delta := 100 * (ecoRes.HPWL/coldRes.HPWL - 1)
+		fmt.Fprintf(out, "%s,%.3f,%.3f,%.1f,%.6g,%.6g,%.2f,%d,%d,%v\n",
+			cs.name, coldSec, ecoSec, speedup, coldRes.HPWL, ecoRes.HPWL, delta,
+			ecoRes.ActiveCells, ecoRes.FrozenCells, ecoRes.Legal && coldRes.Legal)
+		fmt.Fprintf(opt.Log, "eco study: %-8s cold %.2fs eco %.2fs (%.1fx), HPWL delta %+.2f%%\n",
+			cs.name, coldSec, ecoSec, speedup, delta)
+
+		report.Add(telemetry.BenchRecord{
+			Benchmark:  "ECO-" + cs.name + "/cold",
+			Cells:      len(cold.Cells),
+			Nets:       len(cold.Nets),
+			Pins:       len(cold.Pins),
+			HPWL:       coldRes.HPWL,
+			Legal:      coldRes.Legal,
+			Seconds:    coldSec,
+			Iterations: map[string]int{"mGP": coldRes.MGP.Iterations},
+			Digests:    coldRes.Digests,
+		})
+		report.Add(telemetry.BenchRecord{
+			Benchmark: "ECO-" + cs.name + "/eco",
+			Cells:     len(warm.Cells),
+			Nets:      len(warm.Nets),
+			Pins:      len(warm.Pins),
+			HPWL:      ecoRes.HPWL,
+			Legal:     ecoRes.Legal,
+			Seconds:   ecoSec,
+			Iterations: map[string]int{
+				"eGP": ecoRes.GP.Iterations, "active": ecoRes.ActiveCells, "frozen": ecoRes.FrozenCells,
+			},
+			Digests: ecoRes.Digests,
+		})
+	}
+	return report, nil
+}
+
+// MergeBenchFile folds the new records into an existing benchmark
+// report file: rows whose benchmark name starts with prefix are
+// replaced, everything else is preserved. A missing file just writes
+// the new report.
+func MergeBenchFile(path, prefix string, report *telemetry.BenchReport) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return report.WriteFile(path)
+		}
+		return err
+	}
+	old, err := telemetry.ReadBenchReport(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("merging %s: %w", path, err)
+	}
+	var kept []telemetry.BenchRecord
+	for _, r := range old.Records {
+		if !strings.HasPrefix(r.Benchmark, prefix) {
+			kept = append(kept, r)
+		}
+	}
+	old.Records = append(kept, report.Records...)
+	return old.WriteFile(path)
+}

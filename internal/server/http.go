@@ -152,6 +152,8 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull):
 		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrCheckpointExpired):
+		code = http.StatusGone
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
 	default:

@@ -36,6 +36,7 @@ import (
 	"eplace/internal/bookshelf"
 	"eplace/internal/checkpoint"
 	"eplace/internal/core"
+	"eplace/internal/eco"
 	"eplace/internal/metrics"
 	"eplace/internal/netlist"
 	"eplace/internal/synth"
@@ -93,6 +94,9 @@ type JobSpec struct {
 	// names the entry to start from; defaults to the single *.aux file.
 	Files map[string]string `json:"files,omitempty"`
 	Aux   string            `json:"aux,omitempty"`
+	// ECO chains an incremental re-placement off a completed job's
+	// pinned final checkpoint instead of naming a design source.
+	ECO *ECOSpec `json:"eco,omitempty"`
 
 	// Priority orders the queue; higher runs first and may preempt
 	// strictly lower. Default 0.
@@ -107,6 +111,18 @@ type JobSpec struct {
 	GPOnly   bool `json:"gp_only,omitempty"`
 }
 
+// ECOSpec is the server's incremental-re-placement job kind: apply the
+// edit script to the design of a completed job and warm-start from that
+// job's final placement.
+type ECOSpec struct {
+	// FromJob is the completed job whose placement is edited.
+	FromJob string `json:"from_job"`
+	// Edits is the edit script (see eco.Script).
+	Edits eco.Script `json:"edits"`
+	// MaxIters bounds the incremental GP stage (0 = core default).
+	MaxIters int `json:"max_iters,omitempty"`
+}
+
 func (s *JobSpec) validate() error {
 	n := 0
 	if s.Synth != nil {
@@ -118,8 +134,14 @@ func (s *JobSpec) validate() error {
 	if len(s.Files) > 0 {
 		n++
 	}
+	if s.ECO != nil {
+		n++
+	}
 	if n != 1 {
-		return fmt.Errorf("server: spec needs exactly one of synth, aux_path, files (got %d)", n)
+		return fmt.Errorf("server: spec needs exactly one of synth, aux_path, files, eco (got %d)", n)
+	}
+	if s.ECO != nil && s.ECO.FromJob == "" {
+		return fmt.Errorf("server: eco spec needs from_job")
 	}
 	if s.Synth != nil && s.Synth.NumCells <= 0 {
 		return fmt.Errorf("server: synth spec needs NumCells > 0")
@@ -232,6 +254,10 @@ var (
 	ErrNotFound  = errors.New("server: no such job")
 	ErrQueueFull = errors.New("server: queue full")
 	ErrClosed    = errors.New("server: shutting down")
+	// ErrCheckpointExpired rejects an ECO submission whose parent job
+	// has no loadable final checkpoint (pre-pinning job directory, or
+	// state cleaned up out-of-band).
+	ErrCheckpointExpired = errors.New("server: checkpoint expired")
 )
 
 // Cancellation causes, distinguished via context.Cause when a run
@@ -250,6 +276,17 @@ type job struct {
 	seq  int
 	spec JobSpec
 	dir  string
+
+	// ECO lineage, captured at Submit and immutable after: the root
+	// design source (a non-ECO spec plus its job dir, for uploaded
+	// files), the edit scripts of every ancestor ECO job in order, and
+	// the parent's checkpoint directory. Rebuilding root + ancestor
+	// edits reproduces the parent's design structure, which the parent
+	// checkpoint's fingerprint verifies before positions are restored.
+	baseSpec      JobSpec
+	baseDir       string
+	priorEdits    []eco.Script
+	parentCkptDir string
 
 	state       JobState
 	preempting  bool // cancel(errPreempted) issued, runJob not yet back
@@ -322,6 +359,29 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	if live >= s.cfg.QueueLimit {
 		return JobStatus{}, ErrQueueFull
 	}
+	var baseSpec JobSpec
+	var baseDir string
+	var priorEdits []eco.Script
+	var parentCkptDir string
+	if spec.ECO != nil {
+		p := s.jobs[spec.ECO.FromJob]
+		if p == nil {
+			return JobStatus{}, fmt.Errorf("%w: eco parent %q", ErrNotFound, spec.ECO.FromJob)
+		}
+		if p.state != StateDone {
+			return JobStatus{}, fmt.Errorf("server: eco parent %s is %s, not done", p.id, p.state)
+		}
+		if !hasFinalCheckpoint(p.dir) {
+			return JobStatus{}, fmt.Errorf("%w: job %s has no loadable final checkpoint", ErrCheckpointExpired, p.id)
+		}
+		if p.spec.ECO != nil {
+			baseSpec, baseDir = p.baseSpec, p.baseDir
+			priorEdits = append(append([]eco.Script(nil), p.priorEdits...), p.spec.ECO.Edits)
+		} else {
+			baseSpec, baseDir = p.spec, p.dir
+		}
+		parentCkptDir = filepath.Join(p.dir, "ckpt")
+	}
 	s.seq++
 	id := fmt.Sprintf("job-%06d", s.seq)
 	dir := filepath.Join(s.cfg.Dir, id)
@@ -347,14 +407,18 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	j := &job{
-		id:        id,
-		seq:       s.seq,
-		spec:      spec,
-		dir:       dir,
-		state:     StateQueued,
-		submitted: time.Now(),
-		ring:      telemetry.NewRingSink(1024),
-		mgr:       mgr,
+		id:            id,
+		seq:           s.seq,
+		spec:          spec,
+		dir:           dir,
+		baseSpec:      baseSpec,
+		baseDir:       baseDir,
+		priorEdits:    priorEdits,
+		parentCkptDir: parentCkptDir,
+		state:         StateQueued,
+		submitted:     time.Now(),
+		ring:          telemetry.NewRingSink(1024),
+		mgr:           mgr,
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, j)
@@ -366,6 +430,8 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 // designLabel names the job's design source for logs and status.
 func (j *job) designLabel() string {
 	switch {
+	case j.spec.ECO != nil:
+		return "eco(" + j.spec.ECO.FromJob + ")"
 	case j.spec.Synth != nil:
 		if j.spec.Synth.Name != "" {
 			return j.spec.Synth.Name
@@ -615,20 +681,53 @@ func (s *Server) startLocked(j *job) {
 // re-read from the job dir) and the checkpoint fingerprint verifies
 // the match before any positions are restored.
 func (j *job) buildDesign() (*netlist.Design, error) {
+	if j.spec.ECO != nil {
+		// The parent's design is its root source plus every ancestor
+		// edit script, replayed in order — a pure function of the specs,
+		// like a synthetic circuit is of its generator spec.
+		d, err := buildDesignFrom(j.baseSpec, j.baseDir)
+		if err != nil {
+			return nil, err
+		}
+		for i := range j.priorEdits {
+			if _, err := eco.Apply(d, &j.priorEdits[i]); err != nil {
+				return nil, fmt.Errorf("server: replaying ancestor edit %d: %w", i, err)
+			}
+		}
+		return d, nil
+	}
+	return buildDesignFrom(j.spec, j.dir)
+}
+
+// buildDesignFrom materializes a non-ECO spec's design; dir is the
+// spec's own job directory (uploaded files live under it).
+func buildDesignFrom(spec JobSpec, dir string) (*netlist.Design, error) {
 	var d *netlist.Design
 	var err error
 	switch {
-	case j.spec.Synth != nil:
-		d = synth.Generate(*j.spec.Synth)
-	case j.spec.AuxPath != "":
-		d, err = bookshelf.ReadAux(j.spec.AuxPath)
+	case spec.Synth != nil:
+		d = synth.Generate(*spec.Synth)
+	case spec.AuxPath != "":
+		d, err = bookshelf.ReadAux(spec.AuxPath)
 	default:
-		d, err = bookshelf.ReadAux(filepath.Join(j.dir, "design", j.spec.auxFile()))
+		d, err = bookshelf.ReadAux(filepath.Join(dir, "design", spec.auxFile()))
 	}
 	if err != nil {
 		return nil, err
 	}
 	return d, d.Validate()
+}
+
+// hasFinalCheckpoint reports whether a job directory still holds a
+// loadable end-of-run checkpoint (the pinned final, or latest for
+// directories written before pinning existed).
+func hasFinalCheckpoint(jobDir string) bool {
+	for _, name := range []string{checkpoint.FinalName, checkpoint.LatestName} {
+		if _, err := os.Stat(filepath.Join(jobDir, "ckpt", name)); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // runJob executes one run segment: build the design, optionally load
@@ -676,29 +775,36 @@ func (s *Server) runJob(j *job, ctx context.Context, cancel context.CancelCauseF
 	j.rec = rec
 	s.mu.Unlock()
 
-	fo := core.FlowOptions{
-		GP: core.Options{
-			GridM:           j.spec.GridM,
-			MaxIters:        j.spec.MaxIters,
-			Workers:         workers,
-			Telemetry:       rec,
-			CheckpointEvery: s.cfg.CheckpointEvery,
-		},
-		SkipLegalization: j.spec.GPOnly,
-		Checkpoint:       j.mgr,
-	}
 	resumed := false
-	if resume {
-		if st, lerr := j.mgr.Load(); lerr == nil && st.Validate(d) == nil {
-			fo.Resume = st
-			resumed = true
-		}
-		// No loadable checkpoint (preempted before the first boundary
-		// snapshot): run from scratch, which is the same trajectory.
-	}
-
 	t0 := time.Now()
-	res, err := core.PlaceContext(ctx, d, fo)
+	var res core.FlowResult
+	var ecoRes core.ECOResult
+	if j.spec.ECO != nil {
+		// ECO segments are short and deterministic; a preempted one
+		// simply restarts from the parent checkpoint.
+		ecoRes, err = j.runECO(ctx, d, rec, workers)
+	} else {
+		fo := core.FlowOptions{
+			GP: core.Options{
+				GridM:           j.spec.GridM,
+				MaxIters:        j.spec.MaxIters,
+				Workers:         workers,
+				Telemetry:       rec,
+				CheckpointEvery: s.cfg.CheckpointEvery,
+			},
+			SkipLegalization: j.spec.GPOnly,
+			Checkpoint:       j.mgr,
+		}
+		if resume {
+			if st, lerr := j.mgr.Load(); lerr == nil && st.Validate(d) == nil {
+				fo.Resume = st
+				resumed = true
+			}
+			// No loadable checkpoint (preempted before the first boundary
+			// snapshot): run from scratch, which is the same trajectory.
+		}
+		res, err = core.PlaceContext(ctx, d, fo)
+	}
 	// runTotal is written only by this job's (serialized) run segments,
 	// so reading it outside the lock is race-free; the locked store
 	// below publishes the new value to status readers.
@@ -708,7 +814,16 @@ func (s *Server) runJob(j *job, ctx context.Context, cancel context.CancelCauseF
 	if err == nil {
 		// Result assembly rasterizes the layout and writes artifacts;
 		// keep that out of the scheduler lock.
-		result = j.finish(d, res, total)
+		if j.spec.ECO != nil {
+			result = j.finishECO(d, ecoRes, total)
+		} else {
+			result = j.finish(d, res, total)
+		}
+		// Pin the end-of-run checkpoint so history pruning can never
+		// strand an ECO chain off this job.
+		if perr := j.mgr.PinFinal(); perr != nil {
+			s.logf("%s pin final checkpoint: %v", j.id, perr)
+		}
 	}
 
 	s.mu.Lock()
@@ -726,7 +841,7 @@ func (s *Server) runJob(j *job, ctx context.Context, cancel context.CancelCauseF
 		j.state = StateDone
 		j.finished = time.Now()
 		s.logf("%s done: HPWL %.6g legal=%v (%.2fs over %d segments)",
-			j.id, res.HPWL, res.Legal, j.runTotal.Seconds(), j.resumes+1)
+			j.id, result.HPWL, result.Legal, j.runTotal.Seconds(), j.resumes+1)
 	case errors.Is(err, core.ErrCanceled) && errors.Is(cause, errPreempted):
 		j.state = StatePreempted
 		s.logf("%s parked (checkpointed mid-flow)", j.id)
@@ -768,6 +883,70 @@ func (j *job) finish(d *netlist.Design, res core.FlowResult, total time.Duration
 	}
 	if res.MixedSize {
 		r.Iterations["cGP"] = res.CGP.Iterations
+	}
+	for _, st := range res.Stages {
+		r.Stages = append(r.Stages, telemetry.StageSeconds{
+			Name: st.Name, Seconds: st.Time.Seconds(),
+		})
+	}
+	_ = bookshelf.WritePL(d, filepath.Join(j.dir, "result.pl"))
+	if data, err := json.MarshalIndent(r, "", "  "); err == nil {
+		_ = os.WriteFile(filepath.Join(j.dir, "result.json"), data, 0o644)
+	}
+	return r
+}
+
+// runECO executes an incremental re-placement segment: load the
+// parent's pinned final checkpoint, warm-start d (the rebuilt parent
+// design) from it, apply this job's edit script, and re-place only the
+// affected cells.
+func (j *job) runECO(ctx context.Context, d *netlist.Design, rec *telemetry.Recorder, workers int) (core.ECOResult, error) {
+	pmgr, err := checkpoint.NewManager(j.parentCkptDir)
+	if err != nil {
+		return core.ECOResult{}, err
+	}
+	st, err := pmgr.LoadFinal()
+	if err != nil {
+		return core.ECOResult{}, fmt.Errorf("%w: loading parent checkpoint: %v", ErrCheckpointExpired, err)
+	}
+	if err := core.WarmStart(d, st); err != nil {
+		return core.ECOResult{}, err
+	}
+	prep, err := eco.Prepare(d, &j.spec.ECO.Edits, eco.PlanOptions{})
+	if err != nil {
+		return core.ECOResult{}, err
+	}
+	return core.PlaceECO(ctx, d, prep.Plan, core.ECOOptions{
+		GP: core.Options{
+			GridM:     j.spec.GridM,
+			Workers:   workers,
+			Telemetry: rec,
+			// The parent's Poisson backend, so the warm start continues
+			// the trajectory the positions came from.
+			Poisson: st.Poisson,
+		},
+		MaxIters:   j.spec.ECO.MaxIters,
+		Checkpoint: j.mgr,
+	})
+}
+
+// finishECO assembles and persists an ECO job's result artifacts.
+func (j *job) finishECO(d *netlist.Design, res core.ECOResult, total time.Duration) *JobResult {
+	rep := metrics.Measure(d.Name, "ePlace-ECO", d, j.spec.GridM, total.Seconds(), res.Legal)
+	r := &JobResult{
+		Design:   d.Name,
+		Cells:    len(d.Cells),
+		Nets:     len(d.Nets),
+		HPWL:     rep.HPWL,
+		Overflow: rep.Overflow,
+		Legal:    res.Legal,
+		Iterations: map[string]int{
+			"eGP":    res.GP.Iterations,
+			"active": res.ActiveCells,
+			"frozen": res.FrozenCells,
+		},
+		Digests: res.Digests,
+		Seconds: total.Seconds(),
 	}
 	for _, st := range res.Stages {
 		r.Stages = append(r.Stages, telemetry.StageSeconds{
